@@ -1,0 +1,56 @@
+"""Kernel throughput vs block size.
+
+The strong-scaling study (§4.3) hinges on how kernel efficiency falls as
+blocks shrink (34^3 down to 9^3): per-block and per-line overheads grow
+relative to the streamed cell updates, and small arrays stop saturating
+memory bandwidth.  This bench measures that curve for the vectorized
+kernel on this host — the measured analog of the model's per-block cost
+terms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import format_table
+from repro.lbm import D3Q19, TRT
+from repro.lbm.kernels import make_kernel
+
+EDGES = [8, 16, 32, 48]
+
+
+def _setup(edge):
+    cells = (edge, edge, edge)
+    kern = make_kernel("vectorized", D3Q19, TRT.from_tau(0.8), cells)
+    rng = np.random.default_rng(0)
+    src = 0.5 + 0.01 * rng.random((19,) + tuple(c + 2 for c in cells))
+    return kern, src, np.zeros_like(src)
+
+
+@pytest.mark.parametrize("edge", EDGES)
+def test_block_size(benchmark, edge):
+    kern, src, dst = _setup(edge)
+    benchmark(kern, src, dst)
+    if benchmark.stats:
+        benchmark.extra_info["mlups"] = edge**3 / benchmark.stats["mean"] / 1e6
+
+
+def test_small_blocks_less_efficient():
+    """Per-cell throughput at 8^3 must fall clearly below 32^3 — the
+    framework-overhead effect behind the paper's optimal-block-size
+    search."""
+    import time
+
+    def mlups(edge, steps=8):
+        kern, src, dst = _setup(edge)
+        kern(src, dst)
+        t0 = time.perf_counter()
+        for _ in range(steps):
+            kern(src, dst)
+            src, dst = dst, src
+        return edge**3 * steps / (time.perf_counter() - t0) / 1e6
+
+    rows = [(e, round(mlups(e), 2)) for e in EDGES]
+    print("\n" + format_table(["edge", "MLUPS"], rows,
+                              title="vectorized TRT kernel vs block size:"))
+    rates = dict(rows)
+    assert rates[8] < 0.8 * rates[32]

@@ -1,0 +1,31 @@
+"""Figure 4 — ECM model vs clock frequency on SuperMUC."""
+
+import numpy as np
+import pytest
+
+from repro.harness import fig4_ecm_frequency
+from repro.perf import EcmModel, SUPERMUC
+
+
+def test_ecm_prediction_cost(benchmark):
+    ecm = EcmModel(SUPERMUC)
+    benchmark(ecm.predict, 8, clock_hz=1.6e9)
+
+
+def test_fig4_report_and_claims():
+    result = fig4_ecm_frequency()
+    print(result.report)
+    s = result.series
+    assert s["saturation_cores_2.7"] == 6
+    assert s["perf_ratio"] == pytest.approx(0.93, abs=0.01)
+    assert s["energy_ratio"] == pytest.approx(0.75, abs=0.02)
+    assert s["optimal_clock"] == pytest.approx(1.6e9)
+
+
+def test_frequency_sweep(benchmark):
+    ecm = EcmModel(SUPERMUC)
+    clocks = np.array([1.2, 1.4, 1.6, 1.8, 2.0, 2.3, 2.7]) * 1e9
+    sweep = benchmark(ecm.frequency_sweep, clocks)
+    # Performance grows monotonically with clock (bandwidth + cores).
+    mlups = [p.mlups for p in sweep]
+    assert mlups == sorted(mlups)

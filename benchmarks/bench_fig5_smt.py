@@ -1,0 +1,25 @@
+"""Figure 5 — simultaneous multithreading levels on a JUQUEEN node."""
+
+import pytest
+
+from repro.harness import fig5_smt
+from repro.perf import EcmModel, JUQUEEN
+
+
+def test_smt_prediction_cost(benchmark):
+    ecm = EcmModel(JUQUEEN)
+    benchmark(ecm.predict, 16, smt=4)
+
+
+def test_fig5_report_and_ladder():
+    result = fig5_smt()
+    print(result.report)
+    s = result.series
+    # Paper: ~45 / ~62 / ~73 MLUPS at 1/2/4-way SMT on 16 cores.
+    assert s[1] == pytest.approx(45.0, rel=0.05)
+    assert s[2] == pytest.approx(62.0, rel=0.05)
+    assert s[4] == pytest.approx(73.0, rel=0.05)
+    # 4-way SMT is required to approach the bandwidth bound.
+    ecm = EcmModel(JUQUEEN)
+    assert s[4] > 0.9 * ecm.roofline()
+    assert s[1] < 0.65 * ecm.roofline()

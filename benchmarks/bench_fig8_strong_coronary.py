@@ -1,0 +1,86 @@
+"""Figure 8 — strong scaling on the coronary geometry.
+
+Real part: fixed geometry and resolution, increasing virtual processes
+with the block-size search — time steps/s must rise.  Model part: the
+machine-scale curves for both machines at 0.1 mm and 0.05 mm.
+"""
+
+import time
+
+import pytest
+
+from repro.balance import balance_forest
+from repro.blocks import search_strong_scaling_partition
+from repro.comm import DistributedSimulation
+from repro.geometry import CapsuleTreeGeometry, CoronaryTree
+from repro.harness import fig8_strong_coronary
+from repro.lbm import NoSlip, TRT
+
+_GEOM = None
+
+
+def _small_geometry():
+    """A 5-generation tree: the same pipeline as the paper tree at a
+    size the exact (per-cell) voxelizer handles in seconds."""
+    global _GEOM
+    if _GEOM is None:
+        _GEOM = CapsuleTreeGeometry(
+            CoronaryTree.generate(generations=5, root_radius=1.9e-3, seed=0)
+        )
+    return _GEOM
+
+
+
+def _strong_run(n_ranks: int, steps: int = 3) -> float:
+    """Real strong scaling: time steps per second at fixed dx."""
+    geom = _small_geometry()
+    dx = geom.aabb().diagonal / 120.0
+    forest = search_strong_scaling_partition(
+        geom, dx, target_blocks=4 * n_ranks, min_edge=4, max_edge=48
+    )
+    balance_forest(forest, min(n_ranks, forest.n_blocks), strategy="morton")
+    sim = DistributedSimulation(
+        forest, TRT.from_tau(0.8), geometry=geom, boundaries=[NoSlip()]
+    )
+    t0 = time.perf_counter()
+    sim.run(steps)
+    return steps / (time.perf_counter() - t0)
+
+
+@pytest.mark.parametrize("n_ranks", [1, 4, 16])
+def test_strong_scaling_real(benchmark, n_ranks):
+    ts = benchmark.pedantic(_strong_run, args=(n_ranks,), rounds=1, iterations=1)
+    benchmark.extra_info["timesteps_per_s"] = ts
+
+
+def test_fig8_report_and_shape(block_model):
+    result = fig8_strong_coronary(
+        block_model,
+        core_exponents_supermuc=(4, 8, 11, 15),
+        core_exponents_juqueen=(9, 13, 17),
+    )
+    print(result.report)
+    sm1 = result.series["SuperMUC/0.10mm"]
+    sm05 = result.series["SuperMUC/0.05mm"]
+    jq1 = result.series["JUQUEEN/0.10mm"]
+    # Paper: 11.4 steps/s on one node at 0.1 mm.
+    assert sm1[0].timesteps_per_s == pytest.approx(11.4, rel=0.4)
+    # Throughput rises by orders of magnitude with core count.
+    assert sm1[-1].timesteps_per_s / sm1[0].timesteps_per_s > 50
+    # 0.05 mm has 8x the cells: at equal core counts, fewer steps/s but
+    # better per-core efficiency.  (The 0.05 mm series starts at the
+    # smallest core count whose memory fits the domain, like the paper's
+    # 16-core point that ran at the 32 GiB node limit.)
+    common = {p.cores for p in sm1} & {p.cores for p in sm05}
+    assert common, "series share no core count"
+    c = min(common)
+    p1 = next(p for p in sm1 if p.cores == c)
+    p05 = next(p for p in sm05 if p.cores == c)
+    assert p05.timesteps_per_s < p1.timesteps_per_s
+    assert p05.mflups_per_core > p1.mflups_per_core
+    # Optimal blocks/core decline to ~1 at large scale; block edges shrink.
+    assert sm1[-1].blocks_per_core <= 2
+    assert sm1[-1].block_edge_cells < sm1[0].block_edge_cells
+    # JUQUEEN per-core efficiency stays below SuperMUC's at large scale
+    # (framework overhead on slow scalar cores, §4.3).
+    assert jq1[-1].mflups_per_core < sm1[-1].mflups_per_core

@@ -1,0 +1,58 @@
+"""§2.2 — compact block-structure file format: round-trip speed and the
+paper's file-size claims."""
+
+import io
+
+import pytest
+
+from repro.balance import balance_forest
+from repro.blocks import (
+    SetupBlockForest,
+    forest_file_size,
+    load_forest,
+    save_forest,
+)
+from repro.geometry import AABB
+from repro.harness import format_comparison
+
+
+@pytest.fixture(scope="module")
+def big_forest():
+    f = SetupBlockForest.create(
+        AABB((0, 0, 0), (16, 16, 16)), (16, 16, 16), (8, 8, 8)
+    )
+    balance_forest(f, 256, strategy="round_robin")
+    return f
+
+
+def test_save_cost(benchmark, big_forest):
+    benchmark(save_forest, big_forest, io.BytesIO())
+
+
+def test_load_cost(benchmark, big_forest):
+    buf = io.BytesIO()
+    save_forest(big_forest, buf)
+    data = buf.getvalue()
+    benchmark(load_forest, data)
+
+
+def test_size_claims(big_forest):
+    buf = io.BytesIO()
+    n = save_forest(big_forest, buf)
+    per_block = (n - 93) / big_forest.n_blocks  # header is 93 bytes
+    print("\n" + format_comparison(
+        "bytes per block record", "minimal low-order bytes",
+        f"{per_block:.1f} B",
+    ))
+    # Rank bytes step at the 65,536-process boundary (paper: two bytes
+    # suffice up to 65,536 processes).
+    small = forest_file_size(10_000, 65_536, 4096, 10**6)
+    large = forest_file_size(10_000, 65_537, 4096, 10**6)
+    assert large - small == 10_000
+    # Half-million-process block structure stays well under the paper's
+    # ~40 MiB (our records carry fewer attributes).
+    size = forest_file_size(458_184, 458_752, 2**19, 2_048_000)
+    print(format_comparison(
+        "458k-process block structure", "~40 MiB", f"{size / 2**20:.1f} MiB"
+    ))
+    assert size < 40 * 2**20

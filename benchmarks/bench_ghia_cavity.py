@@ -1,0 +1,82 @@
+"""Lid-driven cavity vs the Ghia, Ghia & Shin (1982) reference solution.
+
+The lid-driven cavity is one of the paper's two dense scenarios (§4.2);
+Ghia's multigrid Navier-Stokes solution at Re = 100 is *the* classical
+quantitative benchmark for it.  A quasi-2-D cavity (one periodic
+direction) is run to steady state and the centerline velocity profile is
+compared against Ghia's Table I values.
+"""
+
+import numpy as np
+import pytest
+
+from repro import flagdefs as fl
+from repro.core import Simulation
+from repro.lbm import NoSlip, TRT, UBB
+
+# Ghia et al. 1982, Table I: u_x / u_lid on the vertical centerline at
+# Re = 100 (y measured from the bottom wall; lid at y = 1).
+GHIA_RE100 = [
+    (0.0547, -0.03717),
+    (0.1719, -0.10150),
+    (0.2813, -0.15662),
+    (0.5000, -0.20581),
+    (0.7344, -0.00332),
+    (0.8516, 0.23151),
+    (0.9531, 0.68717),
+]
+
+
+def run_cavity(n: int = 48, re: float = 100.0, u_lid: float = 0.1,
+               steps: int = 12000) -> np.ndarray:
+    nu = u_lid * n / re
+    tau = 3.0 * nu + 0.5
+    sim = Simulation(
+        cells=(n, 2, n),
+        collision=TRT.from_tau(tau),
+        periodic=(False, True, False),
+    )
+    sim.flags.fill(fl.FLUID)
+    d = sim.flags.data
+    d[0], d[-1] = fl.NO_SLIP, fl.NO_SLIP
+    d[:, :, 0] = fl.NO_SLIP
+    d[:, :, -1] = fl.VELOCITY_BC
+    sim.add_boundary(NoSlip())
+    sim.add_boundary(UBB(velocity=(u_lid, 0.0, 0.0)))
+    sim.finalize()
+    sim.run(steps, check_every=4000)
+    # u_x / u_lid on the vertical centerline.
+    return sim.velocity()[n // 2, 0, :, 0] / u_lid
+
+
+@pytest.fixture(scope="module")
+def centerline():
+    return run_cavity()
+
+
+def test_cavity_steady_state_cost(benchmark):
+    benchmark.pedantic(run_cavity, kwargs={"steps": 300}, rounds=1, iterations=1)
+
+
+def test_matches_ghia_reference(centerline):
+    n = len(centerline)
+    z = (np.arange(n) + 0.5) / n
+    errors = []
+    for y_ref, u_ref in GHIA_RE100:
+        u_sim = float(np.interp(y_ref, z, centerline))
+        errors.append(abs(u_sim - u_ref))
+        print(f"  y = {y_ref:.4f}: Ghia {u_ref:+.4f}  ours {u_sim:+.4f}")
+    # Finite resolution + finite settling time: a few percent of the lid
+    # velocity at every tabulated point.
+    assert max(errors) < 0.05
+
+
+def test_primary_vortex_structure(centerline):
+    # Negative return flow below, positive flow at the lid — with the
+    # minimum near Ghia's y ~ 0.45 for Re = 100.
+    n = len(centerline)
+    z = (np.arange(n) + 0.5) / n
+    assert centerline[-1] > 0.5      # follows the lid
+    assert centerline.min() < -0.15  # strong return flow
+    z_min = z[np.argmin(centerline)]
+    assert 0.3 < z_min < 0.6

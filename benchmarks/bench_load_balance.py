@@ -1,0 +1,61 @@
+"""§2.3 — static load balancing strategies on the coronary block graph.
+
+Paper: METIS balances fluid-cell workload under communication-volume
+edge weights.  The benchmark compares the METIS-like multilevel
+partitioner against the Morton-curve and round-robin baselines.
+"""
+
+import copy
+
+import pytest
+
+from repro.balance import balance_forest, evaluate_balance
+from repro.blocks import search_weak_scaling_partition
+from repro.harness import format_table, paper_geometry
+
+
+@pytest.fixture(scope="module")
+def forest():
+    return search_weak_scaling_partition(
+        paper_geometry(), (8, 8, 8), target_blocks=256, max_iterations=12
+    )
+
+
+@pytest.mark.parametrize("strategy", ["round_robin", "morton", "metis"])
+def test_balancer_cost(benchmark, forest, strategy):
+    def run():
+        f = copy.deepcopy(forest)
+        balance_forest(f, 16, strategy=strategy)
+        return f
+
+    f = benchmark.pedantic(run, rounds=2, iterations=1)
+    q = evaluate_balance(f)
+    benchmark.extra_info["imbalance"] = q.imbalance
+    benchmark.extra_info["cut_fraction"] = q.cut_fraction
+
+
+def test_quality_ordering(forest):
+    rows = []
+    results = {}
+    for strategy in ("round_robin", "morton", "metis"):
+        f = copy.deepcopy(forest)
+        balance_forest(f, 16, strategy=strategy)
+        q = evaluate_balance(f)
+        results[strategy] = q
+        rows.append(
+            (strategy, f"{q.imbalance:.3f}", f"{100 * q.cut_fraction:.1f}%",
+             q.empty_ranks)
+        )
+    print(
+        "\n"
+        + format_table(
+            ["strategy", "imbalance", "cut fraction", "empty ranks"],
+            rows,
+            title="Load balancing on the coronary block graph (16 ranks):",
+        )
+    )
+    # The graph partitioner cuts the least communication volume.
+    assert results["metis"].cut_fraction < results["morton"].cut_fraction
+    assert results["morton"].cut_fraction < results["round_robin"].cut_fraction
+    # And no strategy leaves ranks empty at this block/rank ratio.
+    assert all(q.empty_ranks == 0 for q in results.values())

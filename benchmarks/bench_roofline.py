@@ -1,0 +1,46 @@
+"""§4.1 roofline — published machine bounds plus this host's own
+measured STREAM/LBM-pattern bandwidth and kernel-vs-bound comparison."""
+
+import pytest
+
+from repro.harness import roofline_summary
+from repro.perf import (
+    JUQUEEN,
+    SUPERMUC,
+    machine_roofline,
+    measure_copy_bandwidth,
+    measure_lbm_pattern_bandwidth,
+)
+
+
+def test_stream_copy(benchmark):
+    result = benchmark.pedantic(
+        measure_copy_bandwidth,
+        kwargs={"n_doubles": 4_000_000, "repeats": 2},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["gib_per_s"] = result.gib_per_s
+
+
+def test_lbm_pattern_stream(benchmark):
+    result = benchmark.pedantic(
+        measure_lbm_pattern_bandwidth,
+        kwargs={"n_doubles": 400_000},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["gib_per_s"] = result.gib_per_s
+
+
+def test_roofline_report():
+    result = roofline_summary()
+    print(result.report)
+    # Paper numbers are exact consequences of the model.
+    assert machine_roofline(SUPERMUC).mlups == pytest.approx(87.8, abs=0.1)
+    assert machine_roofline(JUQUEEN).mlups == pytest.approx(76.2, abs=0.15)
+    # The host kernel must not exceed the host's own roofline.
+    assert (
+        result.series["host_measured_mlups"]
+        <= 1.05 * result.series["host_bound_mlups"]
+    )

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy shared state (the synthetic coronary tree, its block model) is
+session-scoped so every figure benchmark reuses one instance.
+"""
+
+import pytest
+
+from repro.harness import paper_block_model, paper_coronary_tree, paper_geometry
+
+
+@pytest.fixture(scope="session")
+def coronary_tree():
+    return paper_coronary_tree()
+
+
+@pytest.fixture(scope="session")
+def coronary_geometry():
+    return paper_geometry()
+
+
+@pytest.fixture(scope="session")
+def block_model():
+    return paper_block_model(samples=120_000)

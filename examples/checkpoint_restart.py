@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Checkpoint/restart — fault tolerance for long production runs.
+
+At 1.25 time steps per second (the paper's full-machine rate at 1.276 µm
+resolution), one second of simulated blood flow takes ~2 weeks of wall
+time — far beyond any queue limit or mean time between failures, so
+production runs must checkpoint.  This example runs a distributed
+cavity, checkpoints midway, "crashes", restores into a freshly built
+simulation, and verifies the continuation is bit-identical to an
+uninterrupted run.
+
+Run:  python examples/checkpoint_restart.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.balance import balance_forest
+from repro.blocks import SetupBlockForest
+from repro.comm import DistributedSimulation
+from repro.geometry import AABB
+from repro.io import load_checkpoint, save_checkpoint
+from repro.lbm import NoSlip, TRT, UBB
+from repro.scenarios import lid_driven_cavity
+
+
+def build_simulation() -> DistributedSimulation:
+    forest = SetupBlockForest.create(
+        AABB((0, 0, 0), (2, 2, 1)), (2, 2, 1), (12, 12, 24)
+    )
+    balance_forest(forest, 4, strategy="round_robin")
+    return DistributedSimulation(
+        forest,
+        TRT.from_tau(0.7),
+        flag_setter=lid_driven_cavity((2, 2, 1)),
+        boundaries=[NoSlip(), UBB(velocity=(0.06, 0.0, 0.0))],
+    )
+
+
+def main() -> None:
+    total_steps, crash_at = 200, 80
+
+    reference = build_simulation()
+    reference.run(total_steps)
+    print(f"reference run: {total_steps} uninterrupted steps, "
+          f"{reference.mflups():.2f} MFLUPS")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "checkpoint.npz")
+        first = build_simulation()
+        first.run(crash_at)
+        save_checkpoint(first, path)
+        size = os.path.getsize(path)
+        print(f"checkpointed at step {crash_at}: {size / 2**20:.2f} MiB "
+              f"({len(first.fields)} blocks)")
+        del first  # the "crash"
+
+        resumed = build_simulation()
+        steps_done = load_checkpoint(resumed, path)
+        print(f"restored at step {steps_done}; continuing "
+              f"{total_steps - steps_done} more steps")
+        resumed.run(total_steps - steps_done)
+
+    diff = np.nanmax(
+        np.abs(reference.gather_velocity() - resumed.gather_velocity())
+    )
+    print(f"max |u| difference vs uninterrupted run: {diff}")
+    assert diff == 0.0
+    print("bit-identical continuation — checkpointing is exact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The surface-mesh pipeline end to end, with a hemodynamic observable.
+
+The paper's geometries arrive as colored triangle surface meshes (§2.3).
+This example builds a vessel as a capped-tube mesh, round-trips it
+through OBJ, runs the full mesh pipeline — octree-accelerated signed
+distances with pseudonormal signs, voxelization, colored inflow/outflow
+boundaries — drives a pressure-difference flow through it, and evaluates
+the wall shear stress, the clinical quantity coronary simulations exist
+to compute.
+
+Run:  python examples/mesh_pipeline.py
+"""
+
+import io
+
+import numpy as np
+
+from repro import flagdefs as fl
+from repro.core import Simulation
+from repro.geometry import MeshGeometry, MeshOctree, capped_tube, voxelize_block, ColorMap, AABB
+from repro.io import read_obj, write_obj
+from repro.lbm import NoSlip, PressureABB, TRT, UBB, wall_shear_stress
+
+
+def main() -> None:
+    # 1. Author the vessel as a colored surface mesh and round-trip OBJ.
+    radius, length = 4.5, 24.0
+    mesh = capped_tube(
+        (0, 0, 0), (0, 0, length), radius, segments=48,
+        start_cap_color=1, end_cap_color=2,
+    )
+    buf = io.StringIO()
+    write_obj(mesh, buf)
+    buf.seek(0)
+    mesh = read_obj(buf)
+    print(f"mesh: {mesh.n_triangles} triangles, watertight: {mesh.is_watertight()}")
+
+    # 2. Octree + signed distance -> flags for one block covering the tube.
+    geom = MeshGeometry(mesh, MeshOctree(mesh, max_leaf_triangles=16))
+    n = (12, 12, 26)
+    box = AABB((-6.0, -6.0, -1.0), (6.0, 6.0, 25.0))
+    cmap = ColorMap(by_color=((1, int(fl.VELOCITY_BC)), (2, int(fl.PRESSURE_BC))))
+    flags = voxelize_block(geom, box, n, colors=cmap)
+    counts = {int(v): int((flags == v).sum()) for v in np.unique(flags)}
+    print(f"voxelized flags (0=out,1=fluid,2=wall,4=in,8=out): {counts}")
+
+    # 3. Simulate: inflow velocity at the bottom cap, pressure at the top.
+    sim = Simulation(cells=n, collision=TRT.from_tau(0.8))
+    sim.flags.data[...] = flags
+    u_in = 0.02
+    sim.add_boundary(NoSlip())
+    sim.add_boundary(UBB(velocity=(0.0, 0.0, u_in)))
+    sim.add_boundary(PressureABB(rho_w=1.0))
+    sim.finalize()
+    sim.run(600, check_every=100)
+    print(f"kernel: {sim.kernel_name}, {sim.mflups():.2f} MFLUPS")
+
+    # 4. Axial velocity across the tube at mid-height: parabolic shape.
+    uz = sim.velocity()[..., 2]
+    mid = uz[:, n[1] // 2, n[2] // 2]
+    print("\n  axial velocity across the vessel (mid-height):")
+    for i, v in enumerate(mid):
+        if np.isnan(v):
+            print(f"  {i:3d}  wall/outside")
+        else:
+            print(f"  {i:3d}  {v:+.4f}  " + "#" * int(120 * max(v, 0)))
+
+    # 5. Wall shear stress on the near-wall fluid ring.
+    wss = wall_shear_stress(
+        sim.model, sim.pdfs.interior_view, sim.collision,
+        wall_normal=(1.0, 0.0, 0.0),
+    )
+    centers = np.argwhere(~np.isnan(uz[:, :, n[2] // 2]))
+    cx = (n[0] - 1) / 2.0
+    cy = (n[1] - 1) / 2.0
+    r = np.sqrt((centers[:, 0] - cx) ** 2 + (centers[:, 1] - cy) ** 2)
+    ring = centers[r > r.max() - 1.0]
+    wss_ring = [wss[i, j, n[2] // 2] for i, j in ring]
+    print(f"\nwall shear stress on the near-wall ring: "
+          f"mean {np.mean(wss_ring):.2e}, spread {np.std(wss_ring):.2e} "
+          f"(lattice units)")
+    print("centerline peaks, wall carries the shear — the clinical map a")
+    print("coronary simulation is run for.")
+
+
+if __name__ == "__main__":
+    main()

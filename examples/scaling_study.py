@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate every figure of the paper's evaluation section in one run.
+
+Prints the machine-model series for Figures 1 and 3-8 with the paper's
+published values alongside.  Fast variants of the drivers are used so
+the whole study completes in a couple of minutes; the benchmarks under
+``benchmarks/`` run the full versions.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.harness import (
+    machine_comparison,
+    fig1_partitioning,
+    fig3_kernel_tiers,
+    fig4_ecm_frequency,
+    fig5_smt,
+    fig6_weak_dense,
+    fig7_weak_coronary,
+    fig8_strong_coronary,
+    paper_block_model,
+    roofline_summary,
+)
+
+
+def main() -> None:
+    print(machine_comparison().report)
+    print(roofline_summary().report)
+    print(fig3_kernel_tiers(cells=(32, 32, 32), steps=3).report)
+    print(fig4_ecm_frequency().report)
+    print(fig5_smt().report)
+
+    bm = paper_block_model(samples=100_000)
+    print(fig1_partitioning(bm).report)
+    print(fig6_weak_dense(core_exponents=(5, 9, 13, 17)).report)
+    print(fig7_weak_coronary(bm, core_exponents=(9, 12, 15, 17)).report)
+    print(
+        fig8_strong_coronary(
+            bm,
+            core_exponents_supermuc=(4, 8, 11, 15),
+            core_exponents_juqueen=(9, 13, 17),
+        ).report
+    )
+
+
+if __name__ == "__main__":
+    main()

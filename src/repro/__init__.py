@@ -1,0 +1,49 @@
+"""repro — a Python reproduction of the waLBerla SC13 framework.
+
+Block-structured hybrid-parallel lattice Boltzmann flow simulations in
+complex geometries: LBM core (SRT/TRT, D3Q19), forest-of-octrees domain
+partitioning, triangle-mesh geometry initialization, load balancing,
+virtual-MPI distributed execution, and the roofline/ECM/network
+performance models used to reproduce the paper's petascale results.
+
+The most common entry points are re-exported lazily at the top level::
+
+    from repro import Simulation, TRT, NoSlip, UBB
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+#: Top-level convenience re-exports (resolved lazily so that importing
+#: ``repro`` stays cheap).
+_EXPORTS = {
+    "Simulation": ("repro.core", "Simulation"),
+    "DistributedSimulation": ("repro.comm", "DistributedSimulation"),
+    "VirtualMPI": ("repro.comm", "VirtualMPI"),
+    "SRT": ("repro.lbm", "SRT"),
+    "TRT": ("repro.lbm", "TRT"),
+    "D3Q19": ("repro.lbm", "D3Q19"),
+    "NoSlip": ("repro.lbm", "NoSlip"),
+    "UBB": ("repro.lbm", "UBB"),
+    "PressureABB": ("repro.lbm", "PressureABB"),
+    "CoronaryTree": ("repro.geometry", "CoronaryTree"),
+    "SetupBlockForest": ("repro.blocks", "SetupBlockForest"),
+    "balance_forest": ("repro.balance", "balance_forest"),
+}
+
+__all__ = ["__version__", "flagdefs"] + sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS) | {"flagdefs"})

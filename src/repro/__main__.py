@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``       framework + machine-model summary
+``figures``    regenerate every paper figure (paper-vs-ours tables)
+``cavity``     run a lid-driven cavity and print performance
+``coronary``   run the coronary pipeline end to end
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_info(_args) -> int:
+    from . import __version__
+    from .perf import JUQUEEN, SUPERMUC, machine_roofline
+
+    print(f"repro {__version__} — waLBerla SC13 reproduction")
+    print("\nMachine models:")
+    for m in (SUPERMUC, JUQUEEN):
+        roof = machine_roofline(m).mlups
+        print(
+            f"  {m.name}: {m.architecture}, {m.total_cores} cores, "
+            f"{m.clock_hz / 1e9:.1f} GHz, roofline {roof:.1f} MLUPS/socket"
+        )
+    print("\nSubpackages: lbm, core, blocks, geometry, comm, balance, perf,")
+    print("             harness, io")
+    print("Run `python -m repro figures` to regenerate the paper's results.")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from .harness import (
+        fig1_partitioning,
+        fig3_kernel_tiers,
+        fig4_ecm_frequency,
+        fig5_smt,
+        fig6_weak_dense,
+        fig7_weak_coronary,
+        fig8_strong_coronary,
+        paper_block_model,
+        roofline_summary,
+    )
+
+    results = [
+        roofline_summary(),
+        fig3_kernel_tiers(cells=(32, 32, 32), steps=3),
+        fig4_ecm_frequency(),
+        fig5_smt(),
+    ]
+    if not args.fast:
+        bm = paper_block_model(samples=100_000)
+        results += [
+            fig1_partitioning(bm),
+            fig6_weak_dense(core_exponents=(5, 9, 13, 17)),
+            fig7_weak_coronary(bm, core_exponents=(9, 12, 15, 17)),
+            fig8_strong_coronary(
+                bm,
+                core_exponents_supermuc=(4, 8, 11, 15),
+                core_exponents_juqueen=(9, 13, 17),
+            ),
+        ]
+    for r in results:
+        print(r.report)
+    if args.csv:
+        written = [p for r in results for p in r.to_csv(args.csv)]
+        print(f"\nwrote {len(written)} CSV files to {args.csv}")
+    return 0
+
+
+def _cmd_cavity(args) -> int:
+    import numpy as np
+
+    from . import flagdefs as fl
+    from .core import Simulation
+    from .lbm import NoSlip, TRT, UBB
+
+    n = args.size
+    sim = Simulation(cells=(n, n, n), collision=TRT.from_tau(0.65))
+    sim.flags.fill(fl.FLUID)
+    d = sim.flags.data
+    d[0], d[-1] = fl.NO_SLIP, fl.NO_SLIP
+    d[:, 0], d[:, -1] = fl.NO_SLIP, fl.NO_SLIP
+    d[:, :, 0] = fl.NO_SLIP
+    d[:, :, -1] = fl.VELOCITY_BC
+    sim.add_boundary(NoSlip())
+    sim.add_boundary(UBB(velocity=(0.08, 0.0, 0.0)))
+    sim.finalize()
+    sim.run(args.steps)
+    print(
+        f"cavity {n}^3, {args.steps} steps: {sim.mlups():.2f} MLUPS, "
+        f"max |u| = {np.nanmax(np.abs(sim.velocity())):.4f}"
+    )
+    if args.vtk:
+        from .io import write_simulation_vtk
+
+        write_simulation_vtk(args.vtk, sim)
+        print(f"wrote {args.vtk}")
+    return 0
+
+
+def _cmd_coronary(args) -> int:
+    from .balance import balance_forest
+    from .blocks import search_weak_scaling_partition
+    from .comm import DistributedSimulation
+    from .geometry import CapsuleTreeGeometry, CoronaryTree
+    from .lbm import NoSlip, PressureABB, TRT, UBB
+
+    tree = CoronaryTree.generate(
+        generations=args.generations, root_radius=1.9e-3, seed=args.seed
+    )
+    geom = CapsuleTreeGeometry(tree)
+    forest = search_weak_scaling_partition(
+        geom, (8, 8, 8), target_blocks=args.blocks, max_iterations=14
+    )
+    balance_forest(forest, args.ranks, strategy="metis")
+    sim = DistributedSimulation(
+        forest,
+        TRT.from_tau(0.8),
+        geometry=geom,
+        boundaries=[
+            NoSlip(),
+            UBB(velocity=(0.0, 0.0, 0.02)),
+            PressureABB(rho_w=1.0),
+        ],
+    )
+    sim.run(args.steps)
+    print(
+        f"coronary tree ({tree.n_segments} segments), {forest.n_blocks} blocks "
+        f"on {args.ranks} ranks, {args.steps} steps: "
+        f"{sim.mflups():.2f} MFLUPS, comm {100 * sim.comm_fraction():.1f}%"
+    )
+    if args.vtk:
+        from .io import write_simulation_vtk
+
+        write_simulation_vtk(args.vtk, sim)
+        print(f"wrote {args.vtk}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="waLBerla SC13 reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="framework and machine-model summary")
+
+    p_fig = sub.add_parser("figures", help="regenerate the paper figures")
+    p_fig.add_argument(
+        "--fast", action="store_true",
+        help="only the node-level figures (3, 4, 5, roofline)",
+    )
+    p_fig.add_argument(
+        "--csv", type=str, default=None,
+        help="also write every series as CSV files into this directory",
+    )
+
+    p_cav = sub.add_parser("cavity", help="run a lid-driven cavity")
+    p_cav.add_argument("--size", type=int, default=32)
+    p_cav.add_argument("--steps", type=int, default=300)
+    p_cav.add_argument("--vtk", type=str, default=None)
+
+    p_cor = sub.add_parser("coronary", help="run the coronary pipeline")
+    p_cor.add_argument("--generations", type=int, default=4)
+    p_cor.add_argument("--blocks", type=int, default=96)
+    p_cor.add_argument("--ranks", type=int, default=8)
+    p_cor.add_argument("--steps", type=int, default=50)
+    p_cor.add_argument("--seed", type=int, default=0)
+    p_cor.add_argument("--vtk", type=str, default=None)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "figures": _cmd_figures,
+        "cavity": _cmd_cavity,
+        "coronary": _cmd_coronary,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

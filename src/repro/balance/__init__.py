@@ -1,0 +1,26 @@
+"""Static load balancing: workload graphs, a METIS-like multilevel
+partitioner, Morton-curve and round-robin baselines, quality metrics."""
+
+from .dynamic import RebalanceResult, rebalance
+from .balancers import (
+    BALANCERS,
+    balance_forest,
+    metis_like,
+    morton_curve,
+    random_scatter,
+    round_robin,
+)
+from .graph import build_block_graph, exchange_volume_cells
+from .metis_like import PartitionResult, partition_graph
+from .metrics import BalanceQuality, evaluate_balance
+from .morton import curve_split, morton_key, morton_order
+
+__all__ = [
+    "RebalanceResult", "rebalance",
+    "BALANCERS", "balance_forest", "metis_like", "morton_curve",
+    "random_scatter", "round_robin",
+    "build_block_graph", "exchange_volume_cells",
+    "PartitionResult", "partition_graph",
+    "BalanceQuality", "evaluate_balance",
+    "curve_split", "morton_key", "morton_order",
+]

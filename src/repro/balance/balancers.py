@@ -1,0 +1,105 @@
+"""Static load balancers: the common interface over all strategies.
+
+Every balancer maps a :class:`~repro.blocks.setup.SetupBlockForest` to a
+list of owner ranks.  The paper's production strategy is the METIS
+graph partitioning (§2.3); round-robin and Morton-curve balancing are
+the baselines the benchmarks compare against, and random scatter is
+what the paper uses for the block-classification phase itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..blocks.setup import SetupBlockForest
+from ..errors import LoadBalanceError
+from .graph import build_block_graph
+from .metis_like import partition_graph
+from .morton import curve_split, morton_order
+
+__all__ = [
+    "round_robin",
+    "random_scatter",
+    "morton_curve",
+    "metis_like",
+    "BALANCERS",
+    "balance_forest",
+]
+
+
+def round_robin(forest: SetupBlockForest, k: int, **_kw) -> List[int]:
+    """Block ``i`` goes to rank ``i mod k`` — ignores workload entirely."""
+    _check(forest, k)
+    return [i % k for i in range(forest.n_blocks)]
+
+
+def random_scatter(forest: SetupBlockForest, k: int, seed: int = 0, **_kw) -> List[int]:
+    """Uniformly random assignment — the paper's strategy for spreading
+    the block *classification* work ("all blocks are randomly scattered
+    among the processes to avoid load imbalances", §2.3)."""
+    _check(forest, k)
+    rng = np.random.default_rng(seed)
+    return list(rng.integers(0, k, size=forest.n_blocks))
+
+
+def morton_curve(forest: SetupBlockForest, k: int, **_kw) -> List[int]:
+    """Workload-weighted contiguous split along the Morton curve."""
+    _check(forest, k)
+    order = morton_order([b.grid_index for b in forest.blocks])
+    workloads = [forest.blocks[i].workload for i in order]
+    parts_in_curve_order = curve_split(workloads, k)
+    owners = [0] * forest.n_blocks
+    for pos, block_idx in enumerate(order):
+        owners[block_idx] = int(parts_in_curve_order[pos])
+    return owners
+
+
+def metis_like(
+    forest: SetupBlockForest,
+    k: int,
+    epsilon: float = 0.10,
+    seed: int = 0,
+    **_kw,
+) -> List[int]:
+    """Multilevel graph partitioning on the weighted communication graph
+    — the paper's METIS strategy."""
+    _check(forest, k)
+    g = build_block_graph(forest)
+    result = partition_graph(g, k, epsilon=epsilon, seed=seed)
+    return list(result.parts)
+
+
+def _check(forest: SetupBlockForest, k: int) -> None:
+    if k < 1:
+        raise LoadBalanceError("need at least one process")
+    if forest.n_blocks < k:
+        raise LoadBalanceError(
+            f"{forest.n_blocks} blocks cannot occupy {k} processes; "
+            "the paper allows empty processes only via its target search"
+        )
+
+
+#: Registry of balancer callables by name.
+BALANCERS: Dict[str, Callable] = {
+    "round_robin": round_robin,
+    "random": random_scatter,
+    "morton": morton_curve,
+    "metis": metis_like,
+}
+
+
+def balance_forest(
+    forest: SetupBlockForest, k: int, strategy: str = "metis", **kw
+) -> SetupBlockForest:
+    """Balance ``forest`` onto ``k`` processes in place and return it."""
+    try:
+        balancer = BALANCERS[strategy]
+    except KeyError:
+        raise LoadBalanceError(
+            f"unknown strategy {strategy!r}; choose from {sorted(BALANCERS)}"
+        ) from None
+    owners = balancer(forest, k, **kw)
+    forest.assign(owners, k)
+    return forest

@@ -1,0 +1,134 @@
+"""Measured-load rebalancing.
+
+The paper's conclusion names dynamic load balancing as future work
+("this will also require dynamic load balancing").  This module provides
+the static core of that capability: given *measured* per-block costs
+from a running simulation (instead of the a-priori fluid-cell counts),
+recompute the partition and report which blocks would migrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..blocks.setup import SetupBlockForest
+from ..errors import LoadBalanceError
+from .graph import build_block_graph
+from .metis_like import partition_graph
+
+__all__ = ["RebalanceResult", "rebalance"]
+
+
+@dataclass(frozen=True)
+class RebalanceResult:
+    """Outcome of a rebalancing pass."""
+
+    owners: Tuple[int, ...]
+    migrations: Tuple[Tuple[int, int, int], ...]  # (block idx, old, new)
+    imbalance_before: float
+    imbalance_after: float
+
+    @property
+    def n_migrations(self) -> int:
+        return len(self.migrations)
+
+
+def _imbalance(loads: np.ndarray, owners: Sequence[int], k: int) -> float:
+    per_rank = np.zeros(k)
+    for load, owner in zip(loads, owners):
+        per_rank[owner] += load
+    mean = per_rank.mean()
+    return float(per_rank.max() / mean) if mean > 0 else float("inf")
+
+
+def rebalance(
+    forest: SetupBlockForest,
+    measured_loads: Sequence[float],
+    epsilon: float = 0.05,
+    seed: int = 0,
+    apply: bool = True,
+) -> RebalanceResult:
+    """Repartition a balanced forest using measured per-block costs.
+
+    Parameters
+    ----------
+    forest:
+        An already-assigned forest (the current distribution).
+    measured_loads:
+        One positive cost per block, in forest block order — e.g. the
+        per-block kernel seconds from the previous time steps.
+    epsilon:
+        Balance tolerance for the new partition.
+    apply:
+        Write the new owners back into the forest.
+    """
+    if forest.n_processes == 0:
+        raise LoadBalanceError("forest has no current assignment")
+    loads = np.asarray(measured_loads, dtype=np.float64)
+    if loads.shape != (forest.n_blocks,):
+        raise LoadBalanceError(
+            f"need {forest.n_blocks} measured loads, got {loads.shape}"
+        )
+    if np.any(loads <= 0) or not np.isfinite(loads).all():
+        raise LoadBalanceError("measured loads must be positive and finite")
+    k = forest.n_processes
+    old_owners = [b.owner for b in forest.blocks]
+    before = _imbalance(loads, old_owners, k)
+
+    g = build_block_graph(forest)
+    # Swap the a-priori workload for the measurement (scaled to integers
+    # for the partitioner's weight accounting).
+    scale = 1e6 / loads.max()
+    for idx in g.nodes:
+        g.nodes[idx]["weight"] = max(1, int(round(loads[idx] * scale)))
+    result = partition_graph(g, k, epsilon=epsilon, seed=seed)
+    new_owners = [int(p) for p in result.parts]
+    # Relabel parts to maximize agreement with the old assignment so the
+    # migration count reflects real data movement (greedy matching on the
+    # old-vs-new contingency table).
+    new_owners = _relabel_to_match(old_owners, new_owners, k)
+    after = _imbalance(loads, new_owners, k)
+
+    migrations = tuple(
+        (i, o, n)
+        for i, (o, n) in enumerate(zip(old_owners, new_owners))
+        if o != n
+    )
+    if apply:
+        forest.assign(new_owners, k)
+    return RebalanceResult(
+        owners=tuple(new_owners),
+        migrations=migrations,
+        imbalance_before=before,
+        imbalance_after=after,
+    )
+
+
+def _relabel_to_match(
+    old: Sequence[int], new: Sequence[int], k: int
+) -> List[int]:
+    """Permute new part labels to overlap maximally with the old ones."""
+    overlap = np.zeros((k, k), dtype=np.int64)
+    for o, n in zip(old, new):
+        overlap[n, o] += 1
+    mapping: Dict[int, int] = {}
+    used_old = set()
+    # Greedy: repeatedly take the largest remaining overlap entry.
+    flat = [
+        (int(overlap[n, o]), n, o) for n in range(k) for o in range(k)
+    ]
+    flat.sort(reverse=True)
+    for _, n, o in flat:
+        if n in mapping or o in used_old:
+            continue
+        mapping[n] = o
+        used_old.add(o)
+    for n in range(k):
+        if n not in mapping:
+            free = next(o for o in range(k) if o not in used_old)
+            mapping[n] = free
+            used_old.add(free)
+    return [mapping[n] for n in new]

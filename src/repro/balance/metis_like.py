@@ -1,0 +1,253 @@
+"""Multilevel k-way graph partitioner (METIS substitute).
+
+The paper balances blocks with "the METIS graph partitioner" [24]
+(Karypis & Kumar).  METIS is closed to us here, so this module
+implements the same multilevel scheme from scratch:
+
+1. **Coarsening** by heavy-edge matching: repeatedly contract the
+   heaviest-edge matching until the graph is small.
+2. **Initial partitioning** by greedy graph growing on the coarsest
+   graph: grow k regions from spread-out seeds, always expanding the
+   lightest region along its heaviest frontier edge.
+3. **Uncoarsening with boundary refinement** (Kernighan–Lin /
+   Fiduccia–Mattheyses style): project the partition up one level and
+   greedily move boundary vertices to the neighboring part with the
+   largest edge-cut gain, subject to the balance constraint.
+
+Quality is asserted in the tests relative to the round-robin and Morton
+baselines (lower edge cut at comparable imbalance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..errors import LoadBalanceError
+
+__all__ = ["partition_graph", "PartitionResult"]
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Outcome of a graph partitioning."""
+
+    parts: np.ndarray          # part id per node (original node order)
+    edge_cut: float            # total weight of cut edges
+    imbalance: float           # max part load / ideal load
+
+
+def _node_weights(g: nx.Graph) -> Dict:
+    return {n: g.nodes[n].get("weight", 1) for n in g.nodes}
+
+
+def _heavy_edge_matching(g: nx.Graph, rng: np.random.Generator):
+    """Return (coarse graph, mapping fine node -> coarse node)."""
+    matched: Dict = {}
+    nodes = list(g.nodes)
+    rng.shuffle(nodes)
+    for u in nodes:
+        if u in matched:
+            continue
+        best_v, best_w = None, -1.0
+        for v in g.neighbors(u):
+            if v in matched or v == u:
+                continue
+            w = g[u][v].get("weight", 1.0)
+            if w > best_w:
+                best_v, best_w = v, w
+        if best_v is not None:
+            matched[u] = best_v
+            matched[best_v] = u
+        else:
+            matched[u] = u
+    mapping: Dict = {}
+    coarse_id = 0
+    for u in g.nodes:
+        if u in mapping:
+            continue
+        v = matched[u]
+        mapping[u] = coarse_id
+        if v != u:
+            mapping[v] = coarse_id
+        coarse_id += 1
+    coarse = nx.Graph()
+    for u in g.nodes:
+        cu = mapping[u]
+        if coarse.has_node(cu):
+            coarse.nodes[cu]["weight"] += g.nodes[u].get("weight", 1)
+        else:
+            coarse.add_node(cu, weight=g.nodes[u].get("weight", 1))
+    for u, v, data in g.edges(data=True):
+        cu, cv = mapping[u], mapping[v]
+        if cu == cv:
+            continue
+        w = data.get("weight", 1.0)
+        if coarse.has_edge(cu, cv):
+            coarse[cu][cv]["weight"] += w
+        else:
+            coarse.add_edge(cu, cv, weight=w)
+    return coarse, mapping
+
+
+def _greedy_growing(g: nx.Graph, k: int, rng: np.random.Generator) -> Dict:
+    """Initial k-way partition by region growing on the (coarse) graph."""
+    nodes = list(g.nodes)
+    weights = _node_weights(g)
+    parts: Dict = {}
+    # Seeds: spread with a BFS-farthest heuristic from a random start.
+    seeds = [nodes[int(rng.integers(len(nodes)))]]
+    for _ in range(1, min(k, len(nodes))):
+        dist = {}
+        for s in seeds:
+            for n, d in nx.single_source_shortest_path_length(g, s).items():
+                dist[n] = min(dist.get(n, np.inf), d)
+        # Unreached nodes (other components) are the farthest of all.
+        candidates = [n for n in nodes if n not in parts and n not in seeds]
+        if not candidates:
+            break
+        seeds.append(
+            max(candidates, key=lambda n: dist.get(n, np.inf))
+        )
+    loads = np.zeros(k)
+    frontier: List[set] = [set() for _ in range(k)]
+    for p, s in enumerate(seeds):
+        parts[s] = p
+        loads[p] += weights[s]
+        frontier[p].update(v for v in g.neighbors(s) if v not in parts)
+    unassigned = set(nodes) - set(parts)
+    while unassigned:
+        p = int(np.argmin(loads))
+        cand = [v for v in frontier[p] if v in unassigned]
+        if cand:
+            # Expand along the heaviest connection into part p.
+            def gain(v):
+                return sum(
+                    g[v][u].get("weight", 1.0)
+                    for u in g.neighbors(v)
+                    if parts.get(u) == p
+                )
+            v = max(cand, key=gain)
+        else:
+            v = next(iter(unassigned))  # disconnected: take any node
+        parts[v] = p
+        loads[p] += weights[v]
+        frontier[p].update(u for u in g.neighbors(v) if u not in parts)
+        frontier[p].discard(v)
+        unassigned.discard(v)
+    return parts
+
+
+def _refine(
+    g: nx.Graph, parts: Dict, k: int, max_load: float, passes: int = 4
+) -> None:
+    """Boundary KL/FM refinement, in place."""
+    weights = _node_weights(g)
+    loads = np.zeros(k)
+    for n, p in parts.items():
+        loads[p] += weights[n]
+    for _ in range(passes):
+        moved = 0
+        for u in g.nodes:
+            pu = parts[u]
+            # Connection weight to each neighboring part.
+            conn: Dict[int, float] = {}
+            for v in g.neighbors(u):
+                pv = parts[v]
+                conn[pv] = conn.get(pv, 0.0) + g[u][v].get("weight", 1.0)
+            internal = conn.get(pu, 0.0)
+            best_p, best_gain = pu, 0.0
+            for p, w in conn.items():
+                if p == pu:
+                    continue
+                if loads[p] + weights[u] > max_load:
+                    continue
+                gain = w - internal
+                if gain > best_gain:
+                    best_p, best_gain = p, gain
+            if best_p != pu:
+                parts[u] = best_p
+                loads[pu] -= weights[u]
+                loads[best_p] += weights[u]
+                moved += 1
+        if moved == 0:
+            break
+
+
+def _evaluate(g: nx.Graph, parts: Dict, k: int) -> Tuple[float, float]:
+    weights = _node_weights(g)
+    loads = np.zeros(k)
+    for n, p in parts.items():
+        loads[p] += weights[n]
+    cut = sum(
+        data.get("weight", 1.0)
+        for u, v, data in g.edges(data=True)
+        if parts[u] != parts[v]
+    )
+    ideal = sum(weights.values()) / k
+    return float(cut), float(loads.max() / ideal) if ideal > 0 else np.inf
+
+
+def partition_graph(
+    g: nx.Graph,
+    k: int,
+    epsilon: float = 0.10,
+    coarsen_to: int = 64,
+    seed: int = 0,
+) -> PartitionResult:
+    """Partition ``g`` into ``k`` parts minimizing edge cut under a
+    ``(1 + epsilon)`` balance constraint on vertex weight.
+
+    Parameters mirror METIS: ``epsilon`` is the allowed imbalance and
+    ``coarsen_to`` the coarsest graph size (per part).
+    """
+    if k < 1:
+        raise LoadBalanceError("k must be >= 1")
+    if g.number_of_nodes() == 0:
+        raise LoadBalanceError("empty graph")
+    nodes = list(g.nodes)
+    if k == 1:
+        return PartitionResult(
+            parts=np.zeros(len(nodes), dtype=np.int64), edge_cut=0.0, imbalance=1.0
+        )
+    if k > g.number_of_nodes():
+        raise LoadBalanceError(
+            f"cannot split {g.number_of_nodes()} nodes into {k} parts"
+        )
+    rng = np.random.default_rng(seed)
+    total = sum(_node_weights(g).values())
+    max_load = (1.0 + epsilon) * total / k
+
+    # Coarsening phase.
+    levels = [(g, None)]
+    current = g
+    while current.number_of_nodes() > max(coarsen_to * k, 4 * k):
+        coarse, mapping = _heavy_edge_matching(current, rng)
+        if coarse.number_of_nodes() >= current.number_of_nodes():
+            break  # matching made no progress
+        levels.append((coarse, mapping))
+        current = coarse
+
+    # Initial partition on the coarsest graph.
+    coarsest = levels[-1][0]
+    parts = _greedy_growing(coarsest, k, rng)
+    _refine(coarsest, parts, k, max_load)
+
+    # Uncoarsening: project the partition from the coarsest level back to
+    # the original graph, refining at every level.  ``levels[i][1]`` maps
+    # nodes of level ``i - 1`` into the coarse graph of level ``i``.
+    for i in range(len(levels) - 1, 0, -1):
+        _, mapping = levels[i]
+        finer_graph = levels[i - 1][0]
+        parts = {u: parts[mapping[u]] for u in finer_graph.nodes}
+        _refine(finer_graph, parts, k, max_load)
+
+    cut, imbalance = _evaluate(g, parts, k)
+    order = {n: i for i, n in enumerate(nodes)}
+    arr = np.empty(len(nodes), dtype=np.int64)
+    for n, p in parts.items():
+        arr[order[n]] = p
+    return PartitionResult(parts=arr, edge_cut=cut, imbalance=imbalance)

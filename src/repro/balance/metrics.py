@@ -1,0 +1,65 @@
+"""Quality metrics for a balanced forest: imbalance, edge cut,
+per-rank communication volume."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..blocks.setup import SetupBlockForest
+from ..errors import LoadBalanceError
+from .graph import build_block_graph
+
+__all__ = ["BalanceQuality", "evaluate_balance"]
+
+
+@dataclass(frozen=True)
+class BalanceQuality:
+    """Summary of a load-balancing outcome."""
+
+    n_processes: int
+    imbalance: float            # max rank workload / mean rank workload
+    edge_cut_bytes: float       # bytes/step crossing rank boundaries
+    total_edge_bytes: float     # bytes/step over all block adjacencies
+    max_rank_comm_bytes: float  # heaviest single rank's boundary traffic
+    empty_ranks: int
+
+    @property
+    def cut_fraction(self) -> float:
+        """Fraction of all block-to-block traffic that crosses ranks."""
+        if self.total_edge_bytes == 0:
+            return 0.0
+        return self.edge_cut_bytes / self.total_edge_bytes
+
+
+def evaluate_balance(forest: SetupBlockForest) -> BalanceQuality:
+    """Compute balance quality for an already-assigned forest."""
+    if forest.n_processes == 0:
+        raise LoadBalanceError("forest not balanced yet")
+    k = forest.n_processes
+    loads = np.zeros(k)
+    for b in forest.blocks:
+        loads[b.owner] += b.workload
+    g = build_block_graph(forest)
+    owners = {i: forest.blocks[i].owner for i in g.nodes}
+    cut = 0.0
+    total = 0.0
+    rank_comm = np.zeros(k)
+    for u, v, data in g.edges(data=True):
+        w = data.get("weight", 1.0)
+        total += w
+        if owners[u] != owners[v]:
+            cut += w
+            rank_comm[owners[u]] += w
+            rank_comm[owners[v]] += w
+    mean = loads.mean()
+    return BalanceQuality(
+        n_processes=k,
+        imbalance=float(loads.max() / mean) if mean > 0 else np.inf,
+        edge_cut_bytes=float(cut),
+        total_edge_bytes=float(total),
+        max_rank_comm_bytes=float(rank_comm.max()) if k else 0.0,
+        empty_ranks=int((loads == 0).sum()),
+    )

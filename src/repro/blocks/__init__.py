@@ -1,0 +1,28 @@
+"""Block-structured domain partitioning: forest of octrees, setup-phase
+construction and search, distributed runtime views, compact file I/O."""
+
+from .block import SetupBlock
+from .blockid import BlockId
+from .fileio import forest_file_size, load_forest, save_forest
+from .forest import LocalBlock, NeighborInfo, ProcessView, distribute, view_for_rank
+from .parallel_setup import (
+    broadcast_geometry,
+    broadcast_load_forest,
+    classify_blocks_parallel,
+    classify_blocks_spmd,
+)
+from .setup import (
+    SetupBlockForest,
+    search_strong_scaling_partition,
+    search_weak_scaling_partition,
+)
+
+__all__ = [
+    "SetupBlock", "BlockId",
+    "forest_file_size", "load_forest", "save_forest",
+    "LocalBlock", "NeighborInfo", "ProcessView", "distribute", "view_for_rank",
+    "broadcast_geometry", "broadcast_load_forest",
+    "classify_blocks_parallel", "classify_blocks_spmd",
+    "SetupBlockForest",
+    "search_strong_scaling_partition", "search_weak_scaling_partition",
+]

@@ -1,0 +1,62 @@
+"""Setup-phase block descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..geometry.aabb import AABB
+from ..geometry.voxelize import BlockCoverage
+
+__all__ = ["SetupBlock"]
+
+
+@dataclass
+class SetupBlock:
+    """One block during domain partitioning and load balancing.
+
+    Attributes
+    ----------
+    id:
+        The block's :class:`~repro.blocks.blockid.BlockId`.
+    box:
+        Physical bounding box of the block.
+    grid_index:
+        Position ``(i, j, k)`` of the block in the (root-level) block grid.
+    coverage:
+        How the block relates to the flow domain.
+    fluid_cells:
+        Number of fluid lattice cells in the block — the workload the
+        paper assigns for load balancing (§2.3).
+    cells:
+        Lattice cells per axis within this block.
+    owner:
+        Process rank after static load balancing, -1 if unassigned.
+    """
+
+    id: "BlockId"
+    box: AABB
+    grid_index: Tuple[int, int, int]
+    coverage: BlockCoverage
+    fluid_cells: int
+    cells: Tuple[int, int, int]
+    owner: int = -1
+
+    @property
+    def total_cells(self) -> int:
+        return self.cells[0] * self.cells[1] * self.cells[2]
+
+    @property
+    def fluid_fraction(self) -> float:
+        return self.fluid_cells / self.total_cells if self.total_cells else 0.0
+
+    @property
+    def workload(self) -> int:
+        """Load-balancing weight: the number of fluid cells (§2.3)."""
+        return self.fluid_cells
+
+    def assigned(self, rank: int) -> "SetupBlock":
+        return replace(self, owner=rank)
+
+
+from .blockid import BlockId  # noqa: E402  (dataclass forward reference)

@@ -1,0 +1,107 @@
+"""Block identifiers for the forest of octrees.
+
+waLBerla's domain partitioning "geometrically represents a forest of
+octrees with each initial block being the root of one octree" (§2.2).
+A block ID encodes the root block index plus the path of octant choices
+down the tree, packed into a single integer:
+
+``id = (((1 << 3*depth) | branch_bits) << root_bits) | root_index``
+
+The leading marker bit makes the depth recoverable, and IDs are compact
+— exactly the property the paper's file format exploits by storing only
+the low-order bytes that carry information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import PartitioningError
+
+__all__ = ["BlockId"]
+
+
+@dataclass(frozen=True, order=True)
+class BlockId:
+    """Identifier of one block in a forest of octrees.
+
+    Attributes
+    ----------
+    root_index:
+        Index of the root (initial) block in the coarse grid.
+    branches:
+        Tuple of octant indices (0-7) from the root down to this block;
+        empty for a root block.
+    """
+
+    root_index: int
+    branches: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.root_index < 0:
+            raise PartitioningError(f"negative root index {self.root_index}")
+        for b in self.branches:
+            if not 0 <= b <= 7:
+                raise PartitioningError(f"octant index {b} out of range")
+
+    @property
+    def depth(self) -> int:
+        """Levels below the root block (0 for an initial block)."""
+        return len(self.branches)
+
+    def child(self, octant: int) -> "BlockId":
+        """ID of the given octant child."""
+        if not 0 <= octant <= 7:
+            raise PartitioningError(f"octant index {octant} out of range")
+        return BlockId(self.root_index, self.branches + (octant,))
+
+    def parent(self) -> "BlockId":
+        if not self.branches:
+            raise PartitioningError("root block has no parent")
+        return BlockId(self.root_index, self.branches[:-1])
+
+    def is_ancestor_of(self, other: "BlockId") -> bool:
+        return (
+            self.root_index == other.root_index
+            and len(self.branches) < len(other.branches)
+            and other.branches[: len(self.branches)] == self.branches
+        )
+
+    # -- integer packing --------------------------------------------------
+    def pack(self, root_bits: int) -> int:
+        """Pack into a single integer, using ``root_bits`` bits for the
+        root index (must cover the number of initial blocks)."""
+        if self.root_index >= (1 << root_bits):
+            raise PartitioningError(
+                f"root index {self.root_index} does not fit in {root_bits} bits"
+            )
+        code = 1
+        for b in self.branches:
+            code = (code << 3) | b
+        return (code << root_bits) | self.root_index
+
+    @classmethod
+    def unpack(cls, value: int, root_bits: int) -> "BlockId":
+        if value < 0:
+            raise PartitioningError("packed id must be non-negative")
+        root_index = value & ((1 << root_bits) - 1)
+        code = value >> root_bits
+        if code < 1:
+            raise PartitioningError("packed id lacks the marker bit")
+        branches = []
+        while code > 1:
+            branches.append(code & 0b111)
+            code >>= 3
+        if code != 1:
+            raise PartitioningError("corrupt packed block id")
+        return cls(root_index, tuple(reversed(branches)))
+
+    def packed_byte_length(self, root_bits: int) -> int:
+        """Bytes needed to store the packed id — the file format stores
+        exactly this many low-order bytes (§2.2)."""
+        return max(1, (self.pack(root_bits).bit_length() + 7) // 8)
+
+    def __str__(self) -> str:
+        path = "".join(str(b) for b in self.branches)
+        return f"B{self.root_index}" + (f"/{path}" if path else "")

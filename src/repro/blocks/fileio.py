@@ -1,0 +1,179 @@
+"""Compact, endian-independent block-structure file format (§2.2).
+
+"The file itself is based on a custom endian-independent binary file
+format which is designed for and heavily optimized towards minimal file
+size: for simulation variables like process rank or block ID only the
+lower-order bytes that actually carry information are stored."
+
+The byte widths of rank, block id, and fluid-cell count are computed
+from the forest being saved and recorded in the header, so e.g. ranks
+cost 2 bytes up to 65,536 processes exactly as in the paper.  All
+multi-byte integers are little-endian regardless of the host.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Union
+
+import numpy as np
+
+from ..errors import FileFormatError
+from ..geometry.aabb import AABB
+from ..geometry.voxelize import BlockCoverage
+from .block import SetupBlock
+from .blockid import BlockId
+from .setup import SetupBlockForest
+
+__all__ = ["save_forest", "load_forest", "forest_file_size", "MAGIC"]
+
+MAGIC = b"WBF1"
+
+_COVERAGE_CODE = {BlockCoverage.FULL: 0, BlockCoverage.PARTIAL: 1}
+_CODE_COVERAGE = {v: k for k, v in _COVERAGE_CODE.items()}
+
+
+def _bytes_needed(max_value: int) -> int:
+    """Low-order bytes required to represent ``max_value``."""
+    return max(1, (int(max_value).bit_length() + 7) // 8)
+
+
+def _write_uint(buf: BinaryIO, value: int, width: int) -> None:
+    buf.write(int(value).to_bytes(width, "little"))
+
+
+def _read_uint(buf: BinaryIO, width: int) -> int:
+    return int.from_bytes(_read_exact(buf, width), "little")
+
+
+def _read_exact(buf: BinaryIO, n: int) -> bytes:
+    raw = buf.read(n)
+    if len(raw) != n:
+        raise FileFormatError("unexpected end of file")
+    return raw
+
+
+def save_forest(forest: SetupBlockForest, target: Union[str, BinaryIO]) -> int:
+    """Write a balanced forest; returns the number of bytes written."""
+    if forest.n_processes == 0:
+        raise FileFormatError("forest must be balanced before saving")
+    root_bits = forest.root_bits
+    max_id = max(b.id.pack(root_bits) for b in forest.blocks)
+    id_bytes = _bytes_needed(max_id)
+    rank_bytes = _bytes_needed(forest.n_processes - 1)
+    fluid_bytes = _bytes_needed(max(b.fluid_cells for b in forest.blocks))
+
+    buf = io.BytesIO()
+    buf.write(MAGIC)
+    buf.write(struct.pack("<B", 1))  # version
+    buf.write(struct.pack("<6d", *forest.domain.min, *forest.domain.max))
+    buf.write(struct.pack("<3I", *forest.root_grid))
+    buf.write(struct.pack("<3I", *forest.cells_per_block))
+    buf.write(struct.pack("<IQ", forest.n_processes, forest.n_blocks))
+    buf.write(struct.pack("<4B", root_bits, id_bytes, rank_bytes, fluid_bytes))
+    for b in forest.blocks:
+        _write_uint(buf, b.id.pack(root_bits), id_bytes)
+        _write_uint(buf, b.owner, rank_bytes)
+        _write_uint(buf, b.fluid_cells, fluid_bytes)
+        buf.write(struct.pack("<B", _COVERAGE_CODE[b.coverage]))
+    data = buf.getvalue()
+    if isinstance(target, str):
+        with open(target, "wb") as f:
+            f.write(data)
+    else:
+        target.write(data)
+    return len(data)
+
+
+def load_forest(source: Union[str, bytes, BinaryIO]) -> SetupBlockForest:
+    """Read a forest written by :func:`save_forest`.
+
+    In production, one process reads the file "using one single read
+    operation" and broadcasts the raw bytes (§2.2) — accepting ``bytes``
+    directly supports that path.
+    """
+    if isinstance(source, str):
+        with open(source, "rb") as f:
+            buf: BinaryIO = io.BytesIO(f.read())
+    elif isinstance(source, (bytes, bytearray)):
+        buf = io.BytesIO(bytes(source))
+    else:
+        buf = source
+    if buf.read(4) != MAGIC:
+        raise FileFormatError("bad magic; not a block-structure file")
+    (version,) = struct.unpack("<B", _read_exact(buf, 1))
+    if version != 1:
+        raise FileFormatError(f"unsupported version {version}")
+    vals = struct.unpack("<6d", _read_exact(buf, 48))
+    try:
+        domain = AABB(tuple(vals[:3]), tuple(vals[3:]))
+    except Exception as exc:
+        raise FileFormatError(f"corrupt domain box: {exc}") from exc
+    root_grid = struct.unpack("<3I", _read_exact(buf, 12))
+    cells_per_block = struct.unpack("<3I", _read_exact(buf, 12))
+    n_processes, n_blocks = struct.unpack("<IQ", _read_exact(buf, 12))
+    root_bits, id_bytes, rank_bytes, fluid_bytes = struct.unpack(
+        "<4B", _read_exact(buf, 4)
+    )
+
+    forest = SetupBlockForest(
+        domain=domain, root_grid=root_grid, cells_per_block=cells_per_block
+    )
+    ny, nz = root_grid[1], root_grid[2]
+    for _ in range(n_blocks):
+        packed = _read_uint(buf, id_bytes)
+        owner = _read_uint(buf, rank_bytes)
+        fluid = _read_uint(buf, fluid_bytes)
+        (cov_code,) = struct.unpack("<B", _read_exact(buf, 1))
+        try:
+            coverage = _CODE_COVERAGE[cov_code]
+        except KeyError:
+            raise FileFormatError(f"bad coverage code {cov_code}") from None
+        bid = BlockId.unpack(packed, root_bits)
+        ri = bid.root_index
+        i, rem = divmod(ri, ny * nz)
+        j, k = divmod(rem, nz)
+        lo = domain.lo + domain.extent / np.asarray(root_grid) * (i, j, k)
+        hi = domain.lo + domain.extent / np.asarray(root_grid) * (
+            i + 1, j + 1, k + 1
+        )
+        box = AABB(tuple(lo), tuple(hi))
+        # Refined blocks: descend the octant path from the root box.
+        for octant in bid.branches:
+            box = list(box.octants())[octant]
+        forest.blocks.append(
+            SetupBlock(
+                id=bid,
+                box=box,
+                grid_index=(i, j, k),
+                coverage=coverage,
+                fluid_cells=fluid,
+                cells=tuple(cells_per_block),
+                owner=owner,
+            )
+        )
+    forest.n_processes = n_processes
+    return forest
+
+
+def forest_file_size(
+    n_blocks: int,
+    n_processes: int,
+    root_blocks: int,
+    max_fluid_cells: int,
+) -> int:
+    """Analytic file size in bytes for the format above.
+
+    Reproduces the paper's §2.2 sizing argument: e.g. ranks cost two
+    bytes for up to 65,536 processes, and "block structures corresponding
+    to simulations with half a million processes can be saved in files
+    that use about 40 MiB of disk space" — this function gives the
+    equivalent figure for our (slimmer) record layout.
+    """
+    header = 4 + 1 + 48 + 12 + 12 + 12 + 4
+    root_bits = max(1, (root_blocks - 1).bit_length())
+    id_bytes = _bytes_needed((1 << root_bits) | ((1 << root_bits) - 1))
+    rank_bytes = _bytes_needed(max(n_processes - 1, 1))
+    fluid_bytes = _bytes_needed(max(max_fluid_cells, 1))
+    return header + n_blocks * (id_bytes + rank_bytes + fluid_bytes + 1)

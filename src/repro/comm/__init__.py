@@ -1,0 +1,28 @@
+"""Parallel substrate: virtual MPI, ghost-layer exchange, and the
+distributed multi-block simulation driver."""
+
+from .distributed import (
+    BlockRuntime,
+    DistributedSimulation,
+    build_block_runtime,
+    default_vascular_colors,
+)
+from .spmd import run_spmd_simulation, spmd_rank_program
+from .ghostlayer import (
+    CommStats,
+    CopySpec,
+    GhostExchange,
+    ghost_slices,
+    needed_directions,
+    send_slices,
+)
+from .vmpi import Comm, Request, VirtualMPI
+
+__all__ = [
+    "BlockRuntime", "DistributedSimulation", "build_block_runtime",
+    "default_vascular_colors",
+    "run_spmd_simulation", "spmd_rank_program",
+    "CommStats", "CopySpec", "GhostExchange", "ghost_slices",
+    "needed_directions", "send_slices",
+    "Comm", "Request", "VirtualMPI",
+]

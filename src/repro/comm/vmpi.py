@@ -1,0 +1,285 @@
+"""Virtual MPI: an in-process, thread-based SPMD communicator.
+
+The paper's setup algorithms are MPI programs (scatter blocks, evaluate,
+gather; broadcast the surface mesh; broadcast the block-structure file).
+Real MPI is unavailable here, so this module provides a faithful small
+subset of the mpi4py API executed on one thread per rank within a single
+process.  It is a *correctness* substrate: the distributed algorithms in
+:mod:`repro.blocks` and :mod:`repro.comm` run unmodified SPMD logic on
+it at small rank counts; machine-scale behaviour is modeled separately
+in :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import CommunicationError
+
+__all__ = ["VirtualMPI", "Comm", "Request"]
+
+_ANY = object()
+
+
+class _Mailbox:
+    """Per-rank incoming message store with (source, tag) matching."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._messages: List[Tuple[int, int, Any]] = []
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        with self._cond:
+            self._messages.append((source, tag, payload))
+            self._cond.notify_all()
+
+    def peek(self, source: Any, tag: Any) -> bool:
+        with self._cond:
+            for (s, t, _) in self._messages:
+                if (source is _ANY or s == source) and (tag is _ANY or t == tag):
+                    return True
+            return False
+
+    def get(self, source: Any, tag: Any, timeout: float) -> Tuple[int, int, Any]:
+        deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+
+        def match():
+            for i, (s, t, _) in enumerate(self._messages):
+                if (source is _ANY or s == source) and (tag is _ANY or t == tag):
+                    return i
+            return None
+
+        with self._cond:
+            idx = match()
+            while idx is None:
+                if not self._cond.wait(timeout=deadline):
+                    raise CommunicationError(
+                        f"recv timed out waiting for source={source} tag={tag}"
+                    )
+                idx = match()
+            return self._messages.pop(idx)
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py ``Request`` style)."""
+
+    def __init__(self, resolve: Callable[[], Any]):
+        self._resolve = resolve
+        self._done = False
+        self._value: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._resolve()
+            self._done = True
+        return self._value
+
+    def test(self) -> Tuple[bool, Any]:
+        """Non-destructive completion check is not meaningful for the
+        in-memory transport (sends complete immediately); provided for
+        API compatibility."""
+        if self._done:
+            return True, self._value
+        return False, None
+
+
+class Comm:
+    """The communicator handed to each rank's program.
+
+    Supports ``send/recv/sendrecv`` (+ non-blocking ``isend/irecv`` and
+    ``iprobe``), ``barrier``, ``bcast``, ``gather``, ``allgather``,
+    ``scatter``, ``reduce``, ``allreduce``, and ``alltoall`` with
+    Python-object payloads (mpi4py lower-case style).
+    """
+
+    ANY_SOURCE = _ANY
+    ANY_TAG = _ANY
+
+    def __init__(self, rank: int, parent: "VirtualMPI"):
+        self.rank = rank
+        self._parent = parent
+
+    @property
+    def size(self) -> int:
+        return self._parent.size
+
+    # -- point to point -----------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._parent._check_rank(dest)
+        self._parent._mailboxes[dest].put(self.rank, tag, obj)
+
+    def recv(self, source: Any = _ANY, tag: Any = _ANY) -> Any:
+        _, _, payload = self._parent._mailboxes[self.rank].get(
+            source, tag, self._parent.timeout
+        )
+        return payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send (the in-memory transport never blocks, so
+        this completes eagerly; the Request exists for API symmetry)."""
+        self.send(obj, dest, tag)
+        req = Request(lambda: None)
+        req.wait()
+        return req
+
+    def irecv(self, source: Any = _ANY, tag: Any = _ANY) -> Request:
+        """Non-blocking receive: the matching message is consumed when
+        :meth:`Request.wait` is called."""
+        return Request(lambda: self.recv(source, tag))
+
+    def iprobe(self, source: Any = _ANY, tag: Any = _ANY) -> bool:
+        """True if a matching message is already waiting."""
+        return self._parent._mailboxes[self.rank].peek(source, tag)
+
+    def sendrecv(self, obj: Any, dest: int, source: Any = _ANY, tag: int = 0) -> Any:
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    # -- collectives ----------------------------------------------------------
+    def barrier(self) -> None:
+        self._parent._barrier.wait(timeout=self._parent.timeout)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._parent._check_rank(root)
+        slot = self._parent._collective_slot("bcast")
+        if self.rank == root:
+            slot["value"] = obj
+        self.barrier()
+        value = slot["value"]
+        self.barrier()
+        return value
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        self._parent._check_rank(root)
+        slot = self._parent._collective_slot("gather")
+        slot.setdefault("values", [None] * self.size)
+        slot["values"][self.rank] = obj
+        self.barrier()
+        values = slot["values"] if self.rank == root else None
+        self.barrier()
+        if self.rank == root:
+            self._parent._collective_reset("gather")
+        self.barrier()
+        return values
+
+    def allgather(self, obj: Any) -> List[Any]:
+        slot = self._parent._collective_slot("allgather")
+        slot.setdefault("values", [None] * self.size)
+        slot["values"][self.rank] = obj
+        self.barrier()
+        values = list(slot["values"])
+        self.barrier()
+        if self.rank == 0:
+            self._parent._collective_reset("allgather")
+        self.barrier()
+        return values
+
+    def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
+        self._parent._check_rank(root)
+        slot = self._parent._collective_slot("scatter")
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CommunicationError(
+                    "scatter needs one item per rank at the root"
+                )
+            slot["values"] = list(objs)
+        self.barrier()
+        value = slot["values"][self.rank]
+        self.barrier()
+        return value
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Any:
+        values = self.gather(obj, root)
+        if self.rank != root:
+            return None
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        values = self.allgather(obj)
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def alltoall(self, objs: List[Any]) -> List[Any]:
+        if len(objs) != self.size:
+            raise CommunicationError("alltoall needs one item per rank")
+        matrix = self.allgather(objs)
+        return [matrix[src][self.rank] for src in range(self.size)]
+
+
+class VirtualMPI:
+    """Run SPMD programs on virtual ranks (one thread each).
+
+    Example::
+
+        world = VirtualMPI(4)
+
+        def program(comm):
+            return comm.allreduce(comm.rank, op=lambda a, b: a + b)
+
+        results = world.run(program)   # [6, 6, 6, 6]
+    """
+
+    def __init__(self, size: int, timeout: float = 60.0):
+        if size < 1:
+            raise CommunicationError("need at least one rank")
+        self.size = size
+        self.timeout = timeout
+        self._mailboxes = [_Mailbox() for _ in range(size)]
+        self._barrier = threading.Barrier(size)
+        self._collectives: Dict[str, Dict] = {}
+        self._coll_lock = threading.Lock()
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise CommunicationError(f"rank {rank} out of range [0, {self.size})")
+
+    def _collective_slot(self, name: str) -> Dict:
+        with self._coll_lock:
+            return self._collectives.setdefault(name, {})
+
+    def _collective_reset(self, name: str) -> None:
+        with self._coll_lock:
+            self._collectives.pop(name, None)
+
+    def run(self, program: Callable[[Comm], Any]) -> List[Any]:
+        """Execute ``program(comm)`` on every rank; returns per-rank results.
+
+        Any rank raising aborts the run and re-raises the first error in
+        the caller's thread (other ranks are unblocked via broken
+        barriers / timeouts).
+        """
+        results: List[Any] = [None] * self.size
+        errors: List[Optional[BaseException]] = [None] * self.size
+
+        def worker(rank: int):
+            try:
+                results[rank] = program(Comm(rank, self))
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors[rank] = exc
+                self._barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), daemon=True)
+            for r in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=self.timeout * 2)
+        for r, exc in enumerate(errors):
+            if exc is not None and not isinstance(exc, threading.BrokenBarrierError):
+                raise CommunicationError(f"rank {r} failed: {exc!r}") from exc
+        if any(t.is_alive() for t in threads):
+            raise CommunicationError("virtual MPI program did not terminate")
+        # Fresh state for the next program.
+        self._barrier = threading.Barrier(self.size)
+        self._collectives = {}
+        self._mailboxes = [_Mailbox() for _ in range(self.size)]
+        return results

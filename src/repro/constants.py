@@ -1,0 +1,41 @@
+"""Physical and numerical constants used throughout the framework.
+
+Values that come straight out of the SC13 paper are annotated with the
+section they appear in; they feed the performance models in
+:mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+#: Number of particle distribution functions in the D3Q19 model (§2.1).
+D3Q19_SIZE = 19
+
+#: Bytes per double-precision PDF value.
+DOUBLE_BYTES = 8
+
+#: Memory traffic per lattice cell update for D3Q19 with a write-allocate
+#: cache: 19 loads + 19 stores + 19 write-allocate reads = 456 bytes (§4.1).
+D3Q19_BYTES_PER_CELL_WRITE_ALLOCATE = 3 * D3Q19_SIZE * DOUBLE_BYTES
+
+#: Memory traffic per cell update with non-temporal (streaming) stores:
+#: 19 loads + 19 stores = 304 bytes.
+D3Q19_BYTES_PER_CELL_NT_STORES = 2 * D3Q19_SIZE * DOUBLE_BYTES
+
+#: Default lattice speed of sound squared, cs^2 = 1/3 (lattice units).
+CS2 = 1.0 / 3.0
+
+#: Maximum stable lattice velocity assumed by the paper's time-step
+#: estimate (§4.3): "our method is stable up to a lattice velocity of 0.1".
+MAX_STABLE_LATTICE_VELOCITY = 0.1
+
+#: Typical red blood cell diameter in metres (§1: "about 7 µm").
+RED_BLOOD_CELL_DIAMETER_M = 7.0e-6
+
+#: Maximal blood velocity assumed for time-step estimates in §4.3 (m/s).
+MAX_BLOOD_VELOCITY_M_PER_S = 0.2
+
+#: One GiB in bytes.
+GIB = 1024 ** 3
+
+#: One MiB in bytes.
+MIB = 1024 ** 2

@@ -1,0 +1,67 @@
+"""Ghost-layered fields.
+
+A :class:`PdfField` is the SoA PDF storage of one block: shape
+``(q,) + padded_cells`` with one ghost layer per side, used in every
+time step for communication between neighboring blocks (§2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..lbm.equilibrium import equilibrium
+from ..lbm.lattice import LatticeModel
+
+__all__ = ["PdfField"]
+
+
+class PdfField:
+    """Two-grid (src/dst) PDF storage for one block.
+
+    Parameters
+    ----------
+    model:
+        Lattice model.
+    cells:
+        Interior cell counts.
+    """
+
+    def __init__(self, model: LatticeModel, cells: Tuple[int, ...]):
+        self.model = model
+        self.cells = tuple(int(c) for c in cells)
+        if len(self.cells) != model.dim:
+            raise ValueError(
+                f"{model.name} needs {model.dim} cell counts, got {cells}"
+            )
+        padded = tuple(c + 2 for c in self.cells)
+        self.src = np.zeros((model.q,) + padded)
+        self.dst = np.zeros((model.q,) + padded)
+
+    @property
+    def padded_shape(self) -> Tuple[int, ...]:
+        return self.src.shape[1:]
+
+    @property
+    def interior_view(self) -> np.ndarray:
+        """Interior PDFs of the current (src) grid, shape ``(q,) + cells``."""
+        return self.src[(slice(None),) + (slice(1, -1),) * self.model.dim]
+
+    def swap(self) -> None:
+        """Exchange src and dst (end of a two-grid time step)."""
+        self.src, self.dst = self.dst, self.src
+
+    def set_equilibrium(self, rho: float = 1.0, u=None) -> None:
+        """Initialize src (everywhere, ghosts included) to equilibrium."""
+        if u is None:
+            u = np.zeros(self.model.dim)
+        shape = self.padded_shape
+        rho_f = np.full(shape, float(rho))
+        u_f = np.broadcast_to(np.asarray(u, dtype=np.float64), shape + (self.model.dim,))
+        self.src[...] = equilibrium(self.model, rho_f, u_f)
+        self.dst[...] = self.src
+
+    def memory_bytes(self) -> int:
+        """Total bytes of PDF storage held by this field (both grids)."""
+        return self.src.nbytes + self.dst.nbytes

@@ -1,0 +1,84 @@
+"""Cell flag field.
+
+Every lattice cell carries a bitmask classifying it (waLBerla's
+``FlagField``).  The paper's setup phase (§2.3) marks cells as fluid,
+boundary (of a specific kind, assigned from mesh vertex colors), or
+leaves them unmarked — "superfluous lattice cells which are neither
+boundary nor fluid" in partially covered blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..flagdefs import (
+    BOUNDARY_MASK,
+    FLUID,
+    NO_SLIP,
+    OUTSIDE,
+    PRESSURE_BC,
+    VELOCITY_BC,
+)
+
+__all__ = [
+    "OUTSIDE",
+    "FLUID",
+    "NO_SLIP",
+    "VELOCITY_BC",
+    "PRESSURE_BC",
+    "BOUNDARY_MASK",
+    "FlagField",
+]
+
+
+class FlagField:
+    """A padded uint8 flag array with one ghost layer per side.
+
+    Parameters
+    ----------
+    cells:
+        Interior cell counts.
+    """
+
+    def __init__(self, cells: Tuple[int, ...]):
+        self.cells = tuple(int(c) for c in cells)
+        self.data = np.zeros(tuple(c + 2 for c in self.cells), dtype=np.uint8)
+
+    @property
+    def dim(self) -> int:
+        return len(self.cells)
+
+    @property
+    def interior(self) -> np.ndarray:
+        """View of the interior (non-ghost) flags."""
+        return self.data[(slice(1, -1),) * self.dim]
+
+    def mask(self, flag: np.uint8, include_ghost: bool = False) -> np.ndarray:
+        """Boolean mask of cells whose flags intersect ``flag``."""
+        arr = self.data if include_ghost else self.interior
+        return (arr & flag) != 0
+
+    def fluid_mask(self) -> np.ndarray:
+        """Boolean interior mask of fluid cells."""
+        return self.mask(FLUID)
+
+    def count(self, flag: np.uint8, include_ghost: bool = False) -> int:
+        """Number of cells carrying ``flag``."""
+        return int(self.mask(flag, include_ghost).sum())
+
+    def fill(self, flag: np.uint8, include_ghost: bool = False) -> None:
+        """Set every (interior) cell to exactly ``flag``."""
+        if include_ghost:
+            self.data[...] = flag
+        else:
+            self.interior[...] = flag
+
+    def validate_exclusive(self) -> None:
+        """Check that FLUID is never combined with a boundary flag."""
+        both = self.mask(FLUID, include_ghost=True) & self.mask(
+            BOUNDARY_MASK, include_ghost=True
+        )
+        if both.any():
+            raise ValueError("cells flagged both FLUID and boundary")

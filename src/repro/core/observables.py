@@ -1,0 +1,86 @@
+"""Derived flow observables: pressure, vorticity, kinetic energy,
+Reynolds numbers.
+
+These operate on interior macroscopic fields (possibly containing NaN on
+non-fluid cells, as the simulation drivers produce them).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..constants import CS2
+from ..errors import ConfigurationError
+
+__all__ = [
+    "pressure",
+    "kinetic_energy",
+    "mean_velocity",
+    "vorticity",
+    "enstrophy",
+    "reynolds_number",
+    "mass_flux",
+]
+
+
+def pressure(rho: np.ndarray, rho0: float = 1.0) -> np.ndarray:
+    """LBM equation of state: ``p = cs^2 (rho - rho0)`` (lattice units)."""
+    return CS2 * (np.asarray(rho) - rho0)
+
+
+def kinetic_energy(rho: np.ndarray, u: np.ndarray) -> float:
+    """Total kinetic energy ``sum 1/2 rho |u|^2`` over fluid cells."""
+    usq = np.einsum("...i,...i->...", u, u)
+    e = 0.5 * rho * usq
+    return float(np.nansum(e))
+
+
+def mean_velocity(u: np.ndarray) -> np.ndarray:
+    """Mean velocity vector over fluid (non-NaN) cells."""
+    return np.nanmean(u.reshape(-1, u.shape[-1]), axis=0)
+
+
+def vorticity(u: np.ndarray, dx: float = 1.0) -> np.ndarray:
+    """Vorticity ``curl(u)`` by central differences, shape like ``u``.
+
+    NaN cells propagate into their neighborhood (one cell), which marks
+    near-wall values as undefined rather than inventing one-sided values.
+    """
+    if u.ndim != 4 or u.shape[-1] != 3:
+        raise ConfigurationError("vorticity needs a 3-D velocity field")
+    grads = [
+        [np.gradient(u[..., c], dx, axis=ax) for ax in range(3)]
+        for c in range(3)
+    ]
+    wx = grads[2][1] - grads[1][2]  # du_z/dy - du_y/dz
+    wy = grads[0][2] - grads[2][0]  # du_x/dz - du_z/dx
+    wz = grads[1][0] - grads[0][1]  # du_y/dx - du_x/dy
+    return np.stack([wx, wy, wz], axis=-1)
+
+
+def enstrophy(u: np.ndarray, dx: float = 1.0) -> float:
+    """Total enstrophy ``1/2 sum |curl u|^2`` over defined cells."""
+    w = vorticity(u, dx)
+    return float(0.5 * np.nansum(np.einsum("...i,...i->...", w, w)))
+
+
+def reynolds_number(u_char: float, l_char: float, nu: float) -> float:
+    """``Re = U L / nu``."""
+    if nu <= 0:
+        raise ConfigurationError("viscosity must be positive")
+    return u_char * l_char / nu
+
+
+def mass_flux(
+    rho: np.ndarray, u: np.ndarray, axis: int, position: int
+) -> float:
+    """Mass flux ``sum rho u_axis`` through a cross-section plane."""
+    if not 0 <= axis < u.shape[-1]:
+        raise ConfigurationError(f"axis {axis} out of range")
+    sl = [slice(None)] * (u.ndim - 1)
+    sl[axis] = position
+    plane_u = u[tuple(sl) + (axis,)]
+    plane_rho = rho[tuple(sl)]
+    return float(np.nansum(plane_rho * plane_u))

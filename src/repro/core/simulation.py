@@ -1,0 +1,284 @@
+"""High-level single-block simulation driver.
+
+Wires together the flag field, the PDF field, boundary handling, a
+compute kernel and the time loop.  This is the entry point for the
+example applications; distributed multi-block simulations build on
+:mod:`repro.comm` and :mod:`repro.blocks` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError, NumericalError
+from ..lbm.boundary import BoundaryHandling, Condition
+from ..lbm.forcing import ConstantBodyForce
+from ..lbm.collision import SRT, TRT
+from ..lbm.kernels.registry import make_kernel
+from ..lbm.kernels.sparse import (
+    ConditionalSparseKernel,
+    IndexListSparseKernel,
+    IntervalSparseKernel,
+)
+from ..lbm.lattice import D3Q19, LatticeModel
+from ..lbm.macroscopic import density as _density, velocity as _velocity
+from . import flags as fl
+from .field import PdfField
+from .flags import FlagField
+from .timeloop import TimeLoop
+
+__all__ = ["Simulation"]
+
+Collision = Union[SRT, TRT]
+
+_SPARSE_KERNELS = {
+    "conditional": ConditionalSparseKernel,
+    "indexlist": IndexListSparseKernel,
+    "interval": IntervalSparseKernel,
+}
+
+
+class Simulation:
+    """A single-block LBM simulation.
+
+    Typical use::
+
+        sim = Simulation(cells=(64, 64, 64), collision=TRT.from_tau(0.6))
+        sim.flags.fill(fl.FLUID)
+        ... mark boundary cells in sim.flags ...
+        sim.add_boundary(NoSlip())
+        sim.finalize()
+        sim.run(100)
+
+    Parameters
+    ----------
+    cells:
+        Interior cell counts.
+    collision:
+        SRT or TRT parameters.
+    model:
+        Lattice model (default D3Q19, like every run in the paper).
+    kernel:
+        Kernel tier name (``generic`` / ``d3q19`` / ``vectorized``) or a
+        sparse strategy name (``conditional`` / ``indexlist`` /
+        ``interval``).  ``None`` selects ``vectorized`` for fully fluid
+        interiors and ``interval`` when OUTSIDE cells are present.
+    body_force:
+        Optional constant body force (lattice units per cell per step),
+        applied to fluid cells as an extra sweep.
+    periodic:
+        Per-axis periodicity: ghost layers on periodic axes are wrapped
+        from the opposite interior face before each step.
+    """
+
+    def __init__(
+        self,
+        cells: Tuple[int, ...],
+        collision: Collision,
+        model: LatticeModel = D3Q19,
+        kernel: Optional[str] = None,
+        body_force=None,
+        periodic: Optional[Tuple[bool, ...]] = None,
+    ):
+        self.model = model
+        self.collision = collision
+        self.cells = tuple(int(c) for c in cells)
+        self.kernel_name = kernel
+        self.flags = FlagField(self.cells)
+        self.pdfs = PdfField(model, self.cells)
+        self.boundaries: list[Condition] = []
+        self.timeloop: Optional[TimeLoop] = None
+        self._finalized = False
+        self._kernel = None
+        self._bh: Optional[BoundaryHandling] = None
+        self.body_force = (
+            ConstantBodyForce(model, body_force) if body_force is not None else None
+        )
+        if periodic is None:
+            periodic = (False,) * model.dim
+        if len(periodic) != model.dim:
+            raise ConfigurationError(
+                f"periodic needs {model.dim} entries, got {periodic}"
+            )
+        self.periodic = tuple(bool(p) for p in periodic)
+
+    # -- configuration ------------------------------------------------------
+    def add_boundary(self, condition: Condition) -> "Simulation":
+        """Register a boundary condition (before :meth:`finalize`)."""
+        if self._finalized:
+            raise ConfigurationError("cannot add boundaries after finalize()")
+        self.boundaries.append(condition)
+        return self
+
+    def finalize(self, rho: float = 1.0, u=None) -> "Simulation":
+        """Freeze configuration, build kernel + boundary sweep, init fields."""
+        if self._finalized:
+            raise ConfigurationError("finalize() called twice")
+        self.flags.validate_exclusive()
+        fluid = self.flags.fluid_mask()
+        n_fluid = int(fluid.sum())
+        if n_fluid == 0:
+            raise ConfigurationError("no fluid cells flagged")
+        has_outside = bool((self.flags.interior == fl.OUTSIDE).any())
+
+        name = self.kernel_name
+        if name is None:
+            name = "interval" if has_outside else "vectorized"
+        if name in _SPARSE_KERNELS:
+            if self.model.name != "D3Q19":
+                raise ConfigurationError("sparse kernels require D3Q19")
+            self._kernel = _SPARSE_KERNELS[name](fluid, self.collision)
+        else:
+            if has_outside:
+                raise ConfigurationError(
+                    f"dense kernel {name!r} on a block with OUTSIDE cells; "
+                    "use a sparse strategy (conditional/indexlist/interval)"
+                )
+            self._kernel = make_kernel(name, self.model, self.collision, self.cells)
+        self.kernel_name = name
+
+        self._bh = BoundaryHandling(self.model, self.flags, self.boundaries)
+        self.pdfs.set_equilibrium(rho=rho, u=u)
+        self.fluid_cells = n_fluid
+        self._fluid_mask = fluid
+        self.timeloop = TimeLoop()
+        if any(self.periodic):
+            self.timeloop.add("periodic", self._wrap_periodic)
+        self.timeloop.add("boundary", lambda: self._bh.apply(self.pdfs.src))
+        self.timeloop.add("kernel", self._step_kernel)
+        self.timeloop.add("swap", self.pdfs.swap)
+        if self.body_force is not None:
+            self.timeloop.add(
+                "force",
+                lambda: self.body_force.apply(self.pdfs.src, self._fluid_mask),
+            )
+        self._finalized = True
+        return self
+
+    def update_boundary(self, old: Condition, new: Condition) -> "Simulation":
+        """Replace a boundary condition instance (e.g. a pulsatile inflow
+        updating its UBB velocity between runs).
+
+        The new condition must keep the old flag bit — the precomputed
+        link lists stay valid, only the applied values change.
+        """
+        if not self._finalized:
+            raise ConfigurationError("finalize() before updating boundaries")
+        if new.flag != old.flag:
+            raise ConfigurationError(
+                "replacement boundary must keep the same flag bit"
+            )
+        try:
+            idx = self._bh.conditions.index(old)
+        except ValueError:
+            raise ConfigurationError("condition is not active") from None
+        self._bh.conditions[idx] = new
+        return self
+
+    def _wrap_periodic(self) -> None:
+        """Copy opposite interior faces into ghost layers (periodic axes)."""
+        src = self.pdfs.src
+        for d, per in enumerate(self.periodic):
+            if not per:
+                continue
+            axis = d + 1  # skip the PDF axis
+            lo = [slice(None)] * src.ndim
+            hi = [slice(None)] * src.ndim
+            lo[axis], hi[axis] = 0, -2
+            src[tuple(lo)] = src[tuple(hi)]
+            lo[axis], hi[axis] = -1, 1
+            src[tuple(lo)] = src[tuple(hi)]
+
+    def _step_kernel(self) -> None:
+        self._kernel(self.pdfs.src, self.pdfs.dst)
+
+    # -- execution ------------------------------------------------------------
+    def run(self, steps: int, check_every: int = 0) -> "Simulation":
+        """Advance the simulation by ``steps`` time steps.
+
+        ``check_every > 0`` runs :meth:`assert_stable` at that interval,
+        aborting early with :class:`~repro.errors.NumericalError` instead
+        of silently producing NaN fields.
+        """
+        if not self._finalized:
+            raise ConfigurationError("call finalize() before run()")
+        if check_every <= 0:
+            self.timeloop.run(steps)
+            return self
+        remaining = int(steps)
+        while remaining > 0:
+            chunk = min(check_every, remaining)
+            self.timeloop.run(chunk)
+            remaining -= chunk
+            self.assert_stable()
+        return self
+
+    def assert_stable(self, u_max: float = 0.57) -> None:
+        """Raise :class:`NumericalError` if the state diverged.
+
+        ``u_max`` defaults to the lattice sound speed 1/sqrt(3) — any
+        supersonic lattice velocity means the scheme has left its
+        validity region (the paper's stability bound is 0.1).
+        """
+        interior = self.pdfs.interior_view
+        fm = self._fluid_mask
+        vals = interior[:, fm]
+        if not np.isfinite(vals).all():
+            raise NumericalError(
+                f"non-finite PDFs after {self.timeloop.steps_run} steps"
+            )
+        u = _velocity(self.model, interior)
+        umax = float(np.abs(u[fm]).max()) if fm.any() else 0.0
+        if umax > u_max:
+            raise NumericalError(
+                f"lattice velocity {umax:.3f} exceeds {u_max} after "
+                f"{self.timeloop.steps_run} steps (unstable)"
+            )
+
+    # -- observables ----------------------------------------------------------
+    def density(self) -> np.ndarray:
+        """Interior density; non-fluid cells are NaN."""
+        rho = _density(self.model, self.pdfs.interior_view)
+        out = np.where(self.flags.fluid_mask(), rho, np.nan)
+        return out
+
+    def velocity(self) -> np.ndarray:
+        """Interior velocity, shape ``cells + (dim,)``; non-fluid are NaN.
+
+        With a body force active, the physical fluid velocity includes
+        the half-step correction ``u = j/rho - F/(2 rho)`` (the force is
+        applied once per step after collision, so the bare first moment
+        leads the true velocity by half a kick).  With the TRT magic
+        parameter 3/16 this makes force-driven Poiseuille flow exact to
+        machine precision — see ``benchmarks/bench_trt_magic.py``.
+        """
+        f = self.pdfs.interior_view
+        u = _velocity(self.model, f)
+        if self.body_force is not None:
+            rho = _density(self.model, f)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                u = u - 0.5 * self.body_force.force / rho[..., None]
+        mask = self.flags.fluid_mask()
+        return np.where(mask[..., None], u, np.nan)
+
+    def total_mass(self) -> float:
+        """Sum of density over fluid cells (conserved in closed domains)."""
+        rho = _density(self.model, self.pdfs.interior_view)
+        return float(rho[self.flags.fluid_mask()].sum())
+
+    def mlups(self) -> float:
+        """Measured million lattice cell updates per second (kernel time only)."""
+        t = self.timeloop.timings().get("kernel", 0.0)
+        if t == 0.0 or self.timeloop.steps_run == 0:
+            return 0.0
+        processed = getattr(self._kernel, "processed_cells", int(np.prod(self.cells)))
+        return processed * self.timeloop.steps_run / t / 1e6
+
+    def mflups(self) -> float:
+        """Measured million *fluid* lattice cell updates per second."""
+        t = self.timeloop.timings().get("kernel", 0.0)
+        if t == 0.0 or self.timeloop.steps_run == 0:
+            return 0.0
+        return self.fluid_cells * self.timeloop.steps_run / t / 1e6

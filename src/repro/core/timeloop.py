@@ -1,0 +1,86 @@
+"""Time loop with registered sweeps.
+
+waLBerla structures a simulation as a sequence of *sweeps* executed per
+time step (communication, boundary handling, LBM kernel, ...).  The
+:class:`TimeLoop` here is that scheduler, with per-sweep wall-clock
+accounting so the harness can report the fraction of time spent in
+communication exactly like the dotted lines of Figure 6.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+__all__ = ["Sweep", "TimeLoop"]
+
+
+@dataclass
+class Sweep:
+    """A named per-time-step operation."""
+
+    name: str
+    fn: Callable[[], None]
+    seconds: float = 0.0
+    calls: int = 0
+
+    def run(self) -> None:
+        t0 = time.perf_counter()
+        self.fn()
+        self.seconds += time.perf_counter() - t0
+        self.calls += 1
+
+
+@dataclass
+class TimeLoop:
+    """Executes registered sweeps in order, once per time step."""
+
+    sweeps: List[Sweep] = field(default_factory=list)
+    steps_run: int = 0
+
+    def add(self, name: str, fn: Callable[[], None]) -> "TimeLoop":
+        """Append a sweep; returns self for chaining."""
+        self.sweeps.append(Sweep(name, fn))
+        return self
+
+    def step(self) -> None:
+        """Run one time step."""
+        for sweep in self.sweeps:
+            sweep.run()
+        self.steps_run += 1
+
+    def run(self, steps: int) -> None:
+        """Run ``steps`` time steps."""
+        for _ in range(int(steps)):
+            self.step()
+
+    def timings(self) -> Dict[str, float]:
+        """Accumulated seconds per sweep name."""
+        return {s.name: s.seconds for s in self.sweeps}
+
+    def fraction(self, name: str) -> float:
+        """Fraction of total sweep time spent in sweep ``name`` (0 if unrun)."""
+        total = sum(s.seconds for s in self.sweeps)
+        if total == 0.0:
+            return 0.0
+        return sum(s.seconds for s in self.sweeps if s.name == name) / total
+
+    def report(self) -> str:
+        """Human-readable per-sweep timing table (waLBerla's timing pool)."""
+        total = sum(s.seconds for s in self.sweeps)
+        lines = [f"time loop: {self.steps_run} steps, {total:.4f} s total"]
+        for s in self.sweeps:
+            share = s.seconds / total if total > 0 else 0.0
+            per_call = s.seconds / s.calls if s.calls else 0.0
+            lines.append(
+                f"  {s.name:<16s} {s.seconds:10.4f} s  {100 * share:5.1f}%"
+                f"  ({s.calls} calls, {1e6 * per_call:.1f} us/call)"
+            )
+        return "\n".join(lines)
+
+    def reset_timings(self) -> None:
+        for s in self.sweeps:
+            s.seconds = 0.0
+            s.calls = 0
+        self.steps_run = 0

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro framework.
+
+All framework errors derive from :class:`ReproError` so callers can catch
+framework failures without swallowing programming errors such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class GeometryError(ReproError):
+    """Invalid or degenerate geometry input (empty mesh, zero-area triangle...)."""
+
+
+class PartitioningError(ReproError):
+    """Domain partitioning failed (no feasible block decomposition, bad target)."""
+
+
+class CommunicationError(ReproError):
+    """Virtual MPI misuse or failure (bad rank, mismatched collective...)."""
+
+
+class LoadBalanceError(ReproError):
+    """Load balancing could not satisfy its constraints."""
+
+
+class FileFormatError(ReproError):
+    """Corrupt or incompatible block-structure file."""
+
+
+class ConfigurationError(ReproError):
+    """Inconsistent simulation configuration (bad relaxation time, sizes...)."""
+
+
+class NumericalError(ReproError):
+    """The simulation diverged (NaN/Inf PDFs or unstable velocities)."""

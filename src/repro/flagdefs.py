@@ -1,0 +1,33 @@
+"""Cell flag bit definitions.
+
+Kept in a dependency-free module so both :mod:`repro.core.flags` (the
+flag *field*) and :mod:`repro.lbm.boundary` (the boundary sweep) can use
+them without import cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "OUTSIDE",
+    "FLUID",
+    "NO_SLIP",
+    "VELOCITY_BC",
+    "PRESSURE_BC",
+    "BOUNDARY_MASK",
+]
+
+#: Cell outside the computational domain (superfluous in a sparse block).
+OUTSIDE = np.uint8(0)
+#: Fluid cell, updated by the LBM kernel.
+FLUID = np.uint8(1)
+#: No-slip wall (bounce-back).
+NO_SLIP = np.uint8(2)
+#: Velocity bounce-back boundary (moving wall / inflow).
+VELOCITY_BC = np.uint8(4)
+#: Pressure anti-bounce-back boundary (outflow).
+PRESSURE_BC = np.uint8(8)
+
+#: Any boundary flag.
+BOUNDARY_MASK = np.uint8(NO_SLIP | VELOCITY_BC | PRESSURE_BC)

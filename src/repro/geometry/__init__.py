@@ -1,0 +1,38 @@
+"""Complex geometry handling: triangle meshes, signed distances, octrees,
+voxelization and the synthetic coronary artery tree (§2.3)."""
+
+from .aabb import AABB
+from .coronary import (
+    CapsuleTreeGeometry,
+    CoronaryTree,
+    INFLOW_COLOR,
+    OUTFLOW_COLOR,
+    Segment,
+    WALL_COLOR,
+)
+from .distance import brute_force_closest, closest_point_on_triangles, signed_distance
+from .implicit import ImplicitGeometry, MeshGeometry
+from .mesh import TriangleMesh
+from .octree import MeshOctree
+from .primitives import box_mesh, capped_tube, icosphere
+from .tree_analysis import GenerationStats, TreeMorphometry, analyze_tree
+from .voxelize import (
+    BlockCoverage,
+    ColorMap,
+    cell_centers,
+    classify_block,
+    stencil_structure,
+    voxelize_block,
+)
+
+__all__ = [
+    "AABB", "TriangleMesh", "MeshOctree",
+    "brute_force_closest", "closest_point_on_triangles", "signed_distance",
+    "ImplicitGeometry", "MeshGeometry",
+    "box_mesh", "capped_tube", "icosphere",
+    "GenerationStats", "TreeMorphometry", "analyze_tree",
+    "BlockCoverage", "ColorMap", "cell_centers", "classify_block",
+    "stencil_structure", "voxelize_block",
+    "CapsuleTreeGeometry", "CoronaryTree", "Segment",
+    "INFLOW_COLOR", "OUTFLOW_COLOR", "WALL_COLOR",
+]

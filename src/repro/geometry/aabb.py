@@ -1,0 +1,121 @@
+"""Axis-aligned bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GeometryError
+
+__all__ = ["AABB"]
+
+
+@dataclass(frozen=True)
+class AABB:
+    """A 3-D axis-aligned bounding box ``[min, max]``.
+
+    Degenerate (zero-extent) boxes are allowed; inverted boxes are not.
+    """
+
+    min: Tuple[float, float, float]
+    max: Tuple[float, float, float]
+
+    def __post_init__(self):
+        lo = np.asarray(self.min, dtype=np.float64)
+        hi = np.asarray(self.max, dtype=np.float64)
+        if lo.shape != (3,) or hi.shape != (3,):
+            raise GeometryError("AABB corners must be 3-vectors")
+        if np.any(hi < lo):
+            raise GeometryError(f"inverted AABB: min={self.min} max={self.max}")
+        object.__setattr__(self, "min", tuple(float(v) for v in lo))
+        object.__setattr__(self, "max", tuple(float(v) for v in hi))
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "AABB":
+        points = np.asarray(points, dtype=np.float64)
+        if points.size == 0:
+            raise GeometryError("cannot bound zero points")
+        return cls(tuple(points.min(axis=0)), tuple(points.max(axis=0)))
+
+    @classmethod
+    def cube(cls, center, half: float) -> "AABB":
+        c = np.asarray(center, dtype=np.float64)
+        return cls(tuple(c - half), tuple(c + half))
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def lo(self) -> np.ndarray:
+        return np.asarray(self.min)
+
+    @property
+    def hi(self) -> np.ndarray:
+        return np.asarray(self.max)
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def extent(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    @property
+    def volume(self) -> float:
+        return float(np.prod(self.extent))
+
+    @property
+    def diagonal(self) -> float:
+        return float(np.linalg.norm(self.extent))
+
+    def circumsphere_radius(self) -> float:
+        """Radius of the sphere through the corners (paper §2.3, R(b))."""
+        return 0.5 * self.diagonal
+
+    def insphere_radius(self) -> float:
+        """Radius of the largest inscribed sphere (paper §2.3, r(b))."""
+        return 0.5 * float(self.extent.min())
+
+    def expanded(self, margin: float) -> "AABB":
+        return AABB(tuple(self.lo - margin), tuple(self.hi + margin))
+
+    def contains(self, p) -> bool:
+        p = np.asarray(p, dtype=np.float64)
+        return bool(np.all(p >= self.lo) and np.all(p <= self.hi))
+
+    def contains_points(self, pts: np.ndarray) -> np.ndarray:
+        pts = np.asarray(pts, dtype=np.float64)
+        return np.all(pts >= self.lo, axis=-1) & np.all(pts <= self.hi, axis=-1)
+
+    def intersects(self, other: "AABB") -> bool:
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    def distance_to_point(self, p) -> float:
+        """Euclidean distance from ``p`` to the box (0 if inside)."""
+        p = np.asarray(p, dtype=np.float64)
+        d = np.maximum(np.maximum(self.lo - p, p - self.hi), 0.0)
+        return float(np.linalg.norm(d))
+
+    def distance_to_points(self, pts: np.ndarray) -> np.ndarray:
+        pts = np.asarray(pts, dtype=np.float64)
+        d = np.maximum(np.maximum(self.lo - pts, pts - self.hi), 0.0)
+        return np.linalg.norm(d, axis=-1)
+
+    def octants(self) -> Iterator["AABB"]:
+        """The eight equal children of this box (octree subdivision)."""
+        c = self.center
+        lo, hi = self.lo, self.hi
+        for ix in range(2):
+            for iy in range(2):
+                for iz in range(2):
+                    o_lo = np.where([ix, iy, iz], c, lo)
+                    o_hi = np.where([ix, iy, iz], hi, c)
+                    yield AABB(tuple(o_lo), tuple(o_hi))
+
+    def union(self, other: "AABB") -> "AABB":
+        return AABB(
+            tuple(np.minimum(self.lo, other.lo)),
+            tuple(np.maximum(self.hi, other.hi)),
+        )

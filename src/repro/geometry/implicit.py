@@ -1,0 +1,106 @@
+"""Implicit geometry interface: signed distance + boundary coloring.
+
+The voxelization and block-setup pipeline (§2.3) only needs two things
+from a geometry: the signed distance ``phi(p)`` and, for boundary cells,
+the color of the closest surface region (to assign inflow / outflow /
+wall boundary conditions).  Two implementations are provided:
+
+* :class:`MeshGeometry` — a triangle surface mesh with an octree index,
+  exactly the paper's pipeline (Jones distances, pseudonormal signs,
+  Payne-Toga octree, vertex colors).
+* :class:`CapsuleTreeGeometry` (in :mod:`repro.geometry.coronary`) — the
+  analytically exact signed distance of a union of capsules, used for
+  the synthetic coronary artery tree where a watertight surface mesh of
+  a branching structure would require CSG.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from .aabb import AABB
+from .distance import _pseudonormals_for, brute_force_closest
+from .mesh import TriangleMesh
+from .octree import MeshOctree
+
+__all__ = ["ImplicitGeometry", "MeshGeometry"]
+
+
+class ImplicitGeometry(ABC):
+    """Signed-distance description of a flow domain (negative = inside)."""
+
+    @abstractmethod
+    def aabb(self) -> AABB:
+        """Bounding box of the surface."""
+
+    @abstractmethod
+    def phi(self, points: np.ndarray) -> np.ndarray:
+        """Signed distances for ``(n, 3)`` points."""
+
+    @abstractmethod
+    def boundary_color(self, points: np.ndarray) -> np.ndarray:
+        """Surface color of the region closest to each point (int array)."""
+
+    def phi_single(self, p) -> float:
+        """Signed distance of a single point."""
+        return float(self.phi(np.asarray(p, dtype=np.float64)[None, :])[0])
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask: strictly inside the domain."""
+        return self.phi(points) < 0.0
+
+
+class MeshGeometry(ImplicitGeometry):
+    """Signed distance to a watertight triangle mesh, octree-accelerated.
+
+    Point batches are resolved by gathering a candidate triangle set from
+    the octree around the batch's bounding box (with a rigorous distance
+    margin), then running the vectorized exact point-triangle kernel
+    against only those candidates.
+    """
+
+    def __init__(self, mesh: TriangleMesh, octree: Optional[MeshOctree] = None):
+        self.mesh = mesh
+        self.octree = octree if octree is not None else MeshOctree(mesh)
+        # Precompute pseudonormal tables once.
+        mesh.face_normals()
+        mesh.vertex_pseudonormals()
+        mesh.edge_pseudonormals()
+        self._tri_colors = mesh.triangle_colors()
+
+    def aabb(self) -> AABB:
+        return self.mesh.aabb()
+
+    def _candidates_for(self, points: np.ndarray) -> np.ndarray:
+        """Triangle candidate set guaranteed to contain the closest
+        triangle of every point in the batch."""
+        box = AABB.from_points(points)
+        # Upper bound on any point's closest distance: distance from the
+        # batch center to its closest triangle plus the batch radius.
+        center = box.center
+        d_center = self.octree.distance(center)
+        margin = d_center + box.circumsphere_radius() + 1e-12
+        cand = self.octree.candidates_in_aabb(box.expanded(margin))
+        if cand.size == 0:  # numerical safety net: fall back to all
+            cand = np.arange(self.mesh.n_triangles)
+        return cand
+
+    def _closest(self, points: np.ndarray):
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        cand = self._candidates_for(points)
+        return brute_force_closest(points, self.mesh, cand)
+
+    def phi(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        d, tri_idx, cp, feat = self._closest(points)
+        n = _pseudonormals_for(self.mesh, tri_idx, feat)
+        s = np.einsum("ij,ij->i", points - cp, n)
+        return np.where(s >= 0.0, 1.0, -1.0) * d
+
+    def boundary_color(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        _, tri_idx, _, _ = self._closest(points)
+        return self._tri_colors[tri_idx]

@@ -1,0 +1,247 @@
+"""Triangle surface meshes with per-vertex colors.
+
+The paper's vascular geometry "provides a definition of the domain
+boundary Γ in form of a triangle surface mesh S" (§2.3), where vertex
+colors mark inflow/outflow surfaces for boundary condition assignment.
+
+Angle-weighted pseudonormals (Bærentzen & Aanæs) for vertices and edges
+are precomputed here; they guarantee a numerically stable inside/outside
+sign in :mod:`repro.geometry.distance`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GeometryError
+from .aabb import AABB
+
+__all__ = ["TriangleMesh"]
+
+
+class TriangleMesh:
+    """An indexed triangle mesh.
+
+    Parameters
+    ----------
+    vertices:
+        ``(n, 3)`` float array of vertex positions.
+    triangles:
+        ``(m, 3)`` int array of CCW vertex indices (outward normals).
+    vertex_colors:
+        Optional ``(n,)`` int array; color 0 is conventionally "wall",
+        other colors mark inflow/outflow surfaces (§2.3).
+    """
+
+    def __init__(
+        self,
+        vertices: np.ndarray,
+        triangles: np.ndarray,
+        vertex_colors: Optional[np.ndarray] = None,
+    ):
+        self.vertices = np.ascontiguousarray(vertices, dtype=np.float64)
+        self.triangles = np.ascontiguousarray(triangles, dtype=np.int64)
+        if self.vertices.ndim != 2 or self.vertices.shape[1] != 3:
+            raise GeometryError(f"bad vertex array shape {self.vertices.shape}")
+        if self.triangles.ndim != 2 or self.triangles.shape[1] != 3:
+            raise GeometryError(f"bad triangle array shape {self.triangles.shape}")
+        if self.triangles.size and (
+            self.triangles.min() < 0 or self.triangles.max() >= len(self.vertices)
+        ):
+            raise GeometryError("triangle index out of range")
+        if self.triangles.shape[0] == 0:
+            raise GeometryError("mesh has no triangles")
+        if vertex_colors is None:
+            vertex_colors = np.zeros(len(self.vertices), dtype=np.int64)
+        self.vertex_colors = np.ascontiguousarray(vertex_colors, dtype=np.int64)
+        if self.vertex_colors.shape != (len(self.vertices),):
+            raise GeometryError("vertex_colors must have one entry per vertex")
+        self._face_normals: Optional[np.ndarray] = None
+        self._areas: Optional[np.ndarray] = None
+        self._vertex_normals: Optional[np.ndarray] = None
+        self._edge_normals: Optional[Dict[Tuple[int, int], np.ndarray]] = None
+        self._weld: Optional[np.ndarray] = None
+
+    # -- basic quantities -------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def n_triangles(self) -> int:
+        return len(self.triangles)
+
+    def corners(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-triangle corner positions ``(A, B, C)``, each ``(m, 3)``."""
+        v = self.vertices
+        t = self.triangles
+        return v[t[:, 0]], v[t[:, 1]], v[t[:, 2]]
+
+    def face_normals(self) -> np.ndarray:
+        """Unit outward face normals, ``(m, 3)``."""
+        if self._face_normals is None:
+            a, b, c = self.corners()
+            n = np.cross(b - a, c - a)
+            norm = np.linalg.norm(n, axis=1)
+            if np.any(norm <= 0.0):
+                raise GeometryError(
+                    f"{int((norm <= 0).sum())} degenerate (zero-area) triangles"
+                )
+            self._face_normals = n / norm[:, None]
+            self._areas = 0.5 * norm
+        return self._face_normals
+
+    def areas(self) -> np.ndarray:
+        if self._areas is None:
+            self.face_normals()
+        return self._areas
+
+    def total_area(self) -> float:
+        return float(self.areas().sum())
+
+    def aabb(self) -> AABB:
+        return AABB.from_points(self.vertices)
+
+    def centroids(self) -> np.ndarray:
+        a, b, c = self.corners()
+        return (a + b + c) / 3.0
+
+    # -- welded topology ------------------------------------------------------
+    def weld_map(self, tol: float = 1e-9) -> np.ndarray:
+        """Map each vertex index to a position-welded group id.
+
+        Meshes assembled from parts (e.g. tubes with duplicated cap-ring
+        vertices carrying different colors) are geometrically closed even
+        though their index topology is open; all topological queries
+        (watertightness, pseudonormals) operate on welded groups so they
+        see the true surface.
+        """
+        if self._weld is None:
+            scale = max(self.aabb().diagonal, 1.0)
+            quant = np.round(self.vertices / (tol * scale)).astype(np.int64)
+            _, inverse = np.unique(quant, axis=0, return_inverse=True)
+            self._weld = inverse.astype(np.int64)
+        return self._weld
+
+    def _welded_triangles(self) -> np.ndarray:
+        return self.weld_map()[self.triangles]
+
+    # -- pseudonormals (Bærentzen & Aanæs) ---------------------------------
+    def vertex_pseudonormals(self) -> np.ndarray:
+        """Angle-weighted vertex pseudonormals, ``(n, 3)``.
+
+        Computed per welded vertex group so coincident vertices share the
+        true surface normal; returned per original vertex index.
+        """
+        if self._vertex_normals is None:
+            fn = self.face_normals()
+            a, b, c = self.corners()
+            weld = self.weld_map()
+            n_groups = int(weld.max()) + 1
+            acc = np.zeros((n_groups, 3))
+            wt = self._welded_triangles()
+            corners = (a, b, c)
+            for i in range(3):
+                p = corners[i]
+                q = corners[(i + 1) % 3]
+                r = corners[(i + 2) % 3]
+                u = q - p
+                v = r - p
+                cosang = np.einsum("ij,ij->i", u, v) / (
+                    np.linalg.norm(u, axis=1) * np.linalg.norm(v, axis=1)
+                )
+                ang = np.arccos(np.clip(cosang, -1.0, 1.0))
+                np.add.at(acc, wt[:, i], ang[:, None] * fn)
+            norms = np.linalg.norm(acc, axis=1)
+            nz = norms > 0
+            acc[nz] /= norms[nz, None]
+            self._vertex_normals = acc[weld]
+        return self._vertex_normals
+
+    def edge_pseudonormals(self) -> Dict[Tuple[int, int], np.ndarray]:
+        """Edge pseudonormals: unit mean of the adjacent face normals.
+
+        Keys are sorted *welded* vertex group pairs.  Boundary edges (one
+        adjacent face) get that face's normal.
+        """
+        if self._edge_normals is None:
+            fn = self.face_normals()
+            acc: Dict[Tuple[int, int], np.ndarray] = {}
+            wt = self._welded_triangles()
+            for t_idx, tri in enumerate(wt):
+                for i in range(3):
+                    e = (int(tri[i]), int(tri[(i + 1) % 3]))
+                    key = (min(e), max(e))
+                    if key in acc:
+                        acc[key] = acc[key] + fn[t_idx]
+                    else:
+                        acc[key] = fn[t_idx].copy()
+            for key, n in acc.items():
+                norm = np.linalg.norm(n)
+                if norm > 0:
+                    acc[key] = n / norm
+            self._edge_normals = acc
+        return self._edge_normals
+
+    def edge_key(self, v0: int, v1: int) -> Tuple[int, int]:
+        """Welded lookup key for the edge between vertex indices v0, v1."""
+        weld = self.weld_map()
+        a, b = int(weld[v0]), int(weld[v1])
+        return (min(a, b), max(a, b))
+
+    # -- topology -----------------------------------------------------------
+    def edge_face_counts(self) -> Dict[Tuple[int, int], int]:
+        """Adjacent-face count per welded edge."""
+        counts: Dict[Tuple[int, int], int] = {}
+        for tri in self._welded_triangles():
+            for i in range(3):
+                e = (int(tri[i]), int(tri[(i + 1) % 3]))
+                key = (min(e), max(e))
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def is_watertight(self) -> bool:
+        """True iff every edge is shared by exactly two triangles."""
+        return all(c == 2 for c in self.edge_face_counts().values())
+
+    def triangle_colors(self) -> np.ndarray:
+        """Majority vertex color per triangle (ties -> smallest color)."""
+        vc = self.vertex_colors[self.triangles]  # (m, 3)
+        out = np.empty(self.n_triangles, dtype=np.int64)
+        for i, row in enumerate(vc):
+            vals, counts = np.unique(row, return_counts=True)
+            out[i] = vals[np.argmax(counts)]
+        return out
+
+    # -- transformations ------------------------------------------------------
+    def translated(self, offset) -> "TriangleMesh":
+        return TriangleMesh(
+            self.vertices + np.asarray(offset, dtype=np.float64),
+            self.triangles.copy(),
+            self.vertex_colors.copy(),
+        )
+
+    def scaled(self, factor: float) -> "TriangleMesh":
+        if factor <= 0:
+            raise GeometryError("scale factor must be positive")
+        return TriangleMesh(
+            self.vertices * float(factor),
+            self.triangles.copy(),
+            self.vertex_colors.copy(),
+        )
+
+    @classmethod
+    def merged(cls, *meshes: "TriangleMesh") -> "TriangleMesh":
+        """Concatenate meshes (no vertex welding)."""
+        if not meshes:
+            raise GeometryError("nothing to merge")
+        verts, tris, colors = [], [], []
+        offset = 0
+        for m in meshes:
+            verts.append(m.vertices)
+            tris.append(m.triangles + offset)
+            colors.append(m.vertex_colors)
+            offset += m.n_vertices
+        return cls(np.vstack(verts), np.vstack(tris), np.concatenate(colors))

@@ -1,0 +1,166 @@
+"""Watertight primitive meshes: box, icosphere, capped tube.
+
+Used by tests (analytic signed-distance references) and by the synthetic
+vascular geometry.  All primitives have outward-oriented faces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeometryError
+from .mesh import TriangleMesh
+
+__all__ = ["box_mesh", "icosphere", "capped_tube"]
+
+
+def box_mesh(lo, hi, color: int = 0) -> TriangleMesh:
+    """Axis-aligned box with 12 outward-facing triangles."""
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    if np.any(hi <= lo):
+        raise GeometryError("box must have positive extent")
+    x0, y0, z0 = lo
+    x1, y1, z1 = hi
+    v = np.array(
+        [
+            [x0, y0, z0], [x1, y0, z0], [x1, y1, z0], [x0, y1, z0],
+            [x0, y0, z1], [x1, y0, z1], [x1, y1, z1], [x0, y1, z1],
+        ]
+    )
+    # CCW seen from outside.
+    t = np.array(
+        [
+            [0, 2, 1], [0, 3, 2],  # bottom (z0), normal -z
+            [4, 5, 6], [4, 6, 7],  # top (z1), normal +z
+            [0, 1, 5], [0, 5, 4],  # front (y0), normal -y
+            [2, 3, 7], [2, 7, 6],  # back (y1), normal +y
+            [0, 4, 7], [0, 7, 3],  # left (x0), normal -x
+            [1, 2, 6], [1, 6, 5],  # right (x1), normal +x
+        ]
+    )
+    colors = np.full(len(v), color, dtype=np.int64)
+    return TriangleMesh(v, t, colors)
+
+
+def icosphere(center, radius: float, subdivisions: int = 2, color: int = 0) -> TriangleMesh:
+    """Geodesic sphere by recursive icosahedron subdivision."""
+    if radius <= 0:
+        raise GeometryError("radius must be positive")
+    if subdivisions < 0 or subdivisions > 6:
+        raise GeometryError("subdivisions must be in [0, 6]")
+    phi = (1.0 + np.sqrt(5.0)) / 2.0
+    verts = np.array(
+        [
+            [-1, phi, 0], [1, phi, 0], [-1, -phi, 0], [1, -phi, 0],
+            [0, -1, phi], [0, 1, phi], [0, -1, -phi], [0, 1, -phi],
+            [phi, 0, -1], [phi, 0, 1], [-phi, 0, -1], [-phi, 0, 1],
+        ],
+        dtype=np.float64,
+    )
+    verts /= np.linalg.norm(verts, axis=1)[:, None]
+    faces = [
+        (0, 11, 5), (0, 5, 1), (0, 1, 7), (0, 7, 10), (0, 10, 11),
+        (1, 5, 9), (5, 11, 4), (11, 10, 2), (10, 7, 6), (7, 1, 8),
+        (3, 9, 4), (3, 4, 2), (3, 2, 6), (3, 6, 8), (3, 8, 9),
+        (4, 9, 5), (2, 4, 11), (6, 2, 10), (8, 6, 7), (9, 8, 1),
+    ]
+    verts = [v for v in verts]
+    cache: dict = {}
+
+    def midpoint(i, j):
+        key = (min(i, j), max(i, j))
+        if key in cache:
+            return cache[key]
+        m = 0.5 * (verts[i] + verts[j])
+        m = m / np.linalg.norm(m)
+        verts.append(m)
+        cache[key] = len(verts) - 1
+        return cache[key]
+
+    for _ in range(subdivisions):
+        new_faces = []
+        for i, j, k in faces:
+            a = midpoint(i, j)
+            b = midpoint(j, k)
+            c = midpoint(k, i)
+            new_faces += [(i, a, c), (j, b, a), (k, c, b), (a, b, c)]
+        faces = new_faces
+
+    v = np.asarray(verts) * radius + np.asarray(center, dtype=np.float64)
+    t = np.asarray(faces, dtype=np.int64)
+    colors = np.full(len(v), color, dtype=np.int64)
+    return TriangleMesh(v, t, colors)
+
+
+def _orthonormal_frame(axis: np.ndarray):
+    axis = axis / np.linalg.norm(axis)
+    helper = np.array([1.0, 0.0, 0.0])
+    if abs(axis[0]) > 0.9:
+        helper = np.array([0.0, 1.0, 0.0])
+    u = np.cross(axis, helper)
+    u /= np.linalg.norm(u)
+    v = np.cross(axis, u)
+    return axis, u, v
+
+
+def capped_tube(
+    start,
+    end,
+    radius: float,
+    segments: int = 16,
+    wall_color: int = 0,
+    start_cap_color: int = 0,
+    end_cap_color: int = 0,
+) -> TriangleMesh:
+    """Closed cylinder from ``start`` to ``end`` with fan-capped ends.
+
+    Cap colors let a tube serve as a vessel with colored inflow/outflow
+    faces (§2.3: "the inflow and outflow surfaces of the mesh are
+    unambiguously colored").
+    """
+    start = np.asarray(start, dtype=np.float64)
+    end = np.asarray(end, dtype=np.float64)
+    axis = end - start
+    length = np.linalg.norm(axis)
+    if length <= 0 or radius <= 0:
+        raise GeometryError("tube needs positive length and radius")
+    if segments < 3:
+        raise GeometryError("tube needs >= 3 segments")
+    _, u, v = _orthonormal_frame(axis)
+    ang = 2.0 * np.pi * np.arange(segments) / segments
+    ring = np.cos(ang)[:, None] * u + np.sin(ang)[:, None] * v
+    ring_lo = start + radius * ring
+    ring_hi = end + radius * ring
+    # Cap rings duplicate the side rings so cap triangles can carry the cap
+    # color on all three vertices; topology queries weld them by position.
+    vertices = np.vstack(
+        [ring_lo, ring_hi, ring_lo, ring_hi, start[None, :], end[None, :]]
+    )
+    i_lo = np.arange(segments)
+    i_hi = segments + i_lo
+    i_cap_lo = 2 * segments + i_lo
+    i_cap_hi = 3 * segments + i_lo
+    i_c0 = 4 * segments
+    i_c1 = 4 * segments + 1
+    tris = []
+    for k in range(segments):
+        k1 = (k + 1) % segments
+        # Side quad: wind so normals point outward (away from the axis).
+        tris.append((i_lo[k], i_lo[k1], i_hi[k]))
+        tris.append((i_hi[k], i_lo[k1], i_hi[k1]))
+        # Start cap: normal along -axis.
+        tris.append((i_c0, i_cap_lo[k1], i_cap_lo[k]))
+        # End cap: normal along +axis.
+        tris.append((i_c1, i_cap_hi[k], i_cap_hi[k1]))
+    colors = np.concatenate(
+        [
+            np.full(segments, wall_color),
+            np.full(segments, wall_color),
+            np.full(segments, start_cap_color),
+            np.full(segments, end_cap_color),
+            [start_cap_color],
+            [end_cap_color],
+        ]
+    ).astype(np.int64)
+    return TriangleMesh(vertices, np.asarray(tris, dtype=np.int64), colors)

@@ -1,0 +1,157 @@
+"""Morphometric statistics of vessel trees.
+
+Quantifies how closely a (synthetic or segmented) vascular tree follows
+the classical morphometric laws, and produces the per-generation summary
+used to compare the synthetic tree against the paper's CTA dataset in
+EXPERIMENTS.md:
+
+* Murray's law residual (``r_p^3 = r_1^3 + r_2^3`` at bifurcations),
+* radius/length/volume/surface per generation,
+* Strahler ordering of the branching structure,
+* the length-to-radius ratio distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import GeometryError
+from .coronary import CoronaryTree, Segment
+
+__all__ = ["GenerationStats", "TreeMorphometry", "analyze_tree"]
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """Aggregate geometry of one bifurcation generation."""
+
+    generation: int
+    n_segments: int
+    mean_radius: float
+    total_length: float
+    total_volume: float
+    total_surface: float
+
+
+@dataclass(frozen=True)
+class TreeMorphometry:
+    """Morphometric summary of a vessel tree."""
+
+    n_segments: int
+    n_generations: int
+    generations: Tuple[GenerationStats, ...]
+    murray_max_residual: float     # worst |r_p^3 - (r_1^3 + r_2^3)| / r_p^3
+    length_radius_ratio_mean: float
+    strahler_order: int            # of the root
+    total_volume: float
+    total_surface: float
+    total_length: float
+
+    def summary_rows(self) -> List[Tuple]:
+        return [
+            (
+                g.generation,
+                g.n_segments,
+                f"{g.mean_radius * 1e3:.3f}",
+                f"{g.total_length * 1e3:.1f}",
+                f"{g.total_volume * 1e9:.1f}",
+            )
+            for g in self.generations
+        ]
+
+
+def _children_of(tree: CoronaryTree) -> Dict[int, List[int]]:
+    """Parent segment index -> child segment indices (matched by the
+    children starting where the parent ends)."""
+    ends = {i: np.asarray(s.end) for i, s in enumerate(tree.segments)}
+    children: Dict[int, List[int]] = {i: [] for i in range(tree.n_segments)}
+    for j, s in enumerate(tree.segments):
+        if s.is_root:
+            continue
+        start = np.asarray(s.start)
+        # The parent is the unique segment one generation up ending here.
+        for i, p in enumerate(tree.segments):
+            if p.generation == s.generation - 1 and np.allclose(
+                ends[i], start, atol=1e-12
+            ):
+                children[i].append(j)
+                break
+        else:
+            raise GeometryError(f"segment {j} has no parent")
+    return children
+
+
+def _strahler(tree: CoronaryTree, children: Dict[int, List[int]]) -> Dict[int, int]:
+    order: Dict[int, int] = {}
+
+    def visit(i: int) -> int:
+        kids = children[i]
+        if not kids:
+            order[i] = 1
+            return 1
+        child_orders = sorted((visit(k) for k in kids), reverse=True)
+        if len(child_orders) >= 2 and child_orders[0] == child_orders[1]:
+            order[i] = child_orders[0] + 1
+        else:
+            order[i] = child_orders[0]
+        return order[i]
+
+    roots = [i for i, s in enumerate(tree.segments) if s.is_root]
+    for r in roots:
+        visit(r)
+    return order
+
+
+def analyze_tree(tree: CoronaryTree) -> TreeMorphometry:
+    """Compute the full morphometric summary of a tree."""
+    segs = tree.segments
+    children = _children_of(tree)
+
+    # Murray residuals at every bifurcation.
+    max_res = 0.0
+    for i, kids in children.items():
+        if len(kids) != 2:
+            continue
+        rp3 = segs[i].radius ** 3
+        rc3 = sum(segs[k].radius ** 3 for k in kids)
+        max_res = max(max_res, abs(rp3 - rc3) / rp3)
+
+    by_gen: Dict[int, List[Segment]] = {}
+    for s in segs:
+        by_gen.setdefault(s.generation, []).append(s)
+    gens = []
+    for g in sorted(by_gen):
+        members = by_gen[g]
+        gens.append(
+            GenerationStats(
+                generation=g,
+                n_segments=len(members),
+                mean_radius=float(np.mean([s.radius for s in members])),
+                total_length=float(sum(s.length for s in members)),
+                total_volume=float(
+                    sum(np.pi * s.radius**2 * s.length for s in members)
+                ),
+                total_surface=float(
+                    sum(2.0 * np.pi * s.radius * s.length for s in members)
+                ),
+            )
+        )
+
+    order = _strahler(tree, children)
+    root_idx = next(i for i, s in enumerate(segs) if s.is_root)
+    ratios = [s.length / s.radius for s in segs]
+
+    return TreeMorphometry(
+        n_segments=tree.n_segments,
+        n_generations=len(gens),
+        generations=tuple(gens),
+        murray_max_residual=max_res,
+        length_radius_ratio_mean=float(np.mean(ratios)),
+        strahler_order=order[root_idx],
+        total_volume=float(sum(g.total_volume for g in gens)),
+        total_surface=float(sum(g.total_surface for g in gens)),
+        total_length=float(sum(g.total_length for g in gens)),
+    )

@@ -1,0 +1,12 @@
+"""Input/output: legacy-VTK field output, OBJ surface meshes, and
+simulation checkpoints."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .objmesh import read_obj, write_obj
+from .vtk import write_simulation_vtk, write_vtk
+
+__all__ = [
+    "load_checkpoint", "save_checkpoint",
+    "read_obj", "write_obj",
+    "write_simulation_vtk", "write_vtk",
+]

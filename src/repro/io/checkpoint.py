@@ -1,0 +1,70 @@
+"""Simulation checkpointing.
+
+Saves and restores the complete PDF state of a distributed simulation
+(every block's ``src`` grid plus the step counter) in a single ``.npz``
+file.  Restoring into a freshly constructed simulation with the same
+forest continues the run bit-exactly — verified by the test suite
+against an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_META_KEY = "__meta__"
+_FORMAT_VERSION = 1
+
+
+def _block_key(block_id) -> str:
+    return str(block_id)
+
+
+def save_checkpoint(sim, path: str) -> None:
+    """Write all block PDF states and the step counter."""
+    arrays = {}
+    for block_id, field in sim.fields.items():
+        arrays[_block_key(block_id)] = field.src
+    arrays[_META_KEY] = np.array(
+        [_FORMAT_VERSION, sim.timeloop.steps_run, len(sim.fields)],
+        dtype=np.int64,
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(sim, path: str) -> int:
+    """Restore block PDF states into ``sim``; returns the step count.
+
+    ``sim`` must have been built from the same balanced forest (same
+    block ids and shapes).
+    """
+    with np.load(path) as data:
+        if _META_KEY not in data:
+            raise ReproError("not a repro checkpoint file")
+        version, steps, n_blocks = (int(v) for v in data[_META_KEY])
+        if version != _FORMAT_VERSION:
+            raise ReproError(f"unsupported checkpoint version {version}")
+        if n_blocks != len(sim.fields):
+            raise ReproError(
+                f"checkpoint has {n_blocks} blocks, simulation has "
+                f"{len(sim.fields)}"
+            )
+        for block_id, field in sim.fields.items():
+            key = _block_key(block_id)
+            if key not in data:
+                raise ReproError(f"checkpoint lacks block {key}")
+            arr = data[key]
+            if arr.shape != field.src.shape:
+                raise ReproError(
+                    f"block {key}: checkpoint shape {arr.shape} != "
+                    f"field shape {field.src.shape}"
+                )
+            field.src[...] = arr
+            field.dst[...] = arr
+    sim.timeloop.steps_run = steps
+    return steps

@@ -1,0 +1,99 @@
+"""Wavefront OBJ input/output for triangle surface meshes.
+
+The paper's geometries arrive as triangle surface meshes with colored
+inflow/outflow regions (§2.3).  OBJ is the lingua franca for such
+meshes; per-vertex colors use the widespread "extended vertex" form
+
+    v x y z r g b
+
+(written by MeshLab, Blender, CloudCompare...).  We encode the integer
+surface color in the red channel (``r = color / 255``); loading maps it
+back.  Faces with more than three vertices are fan-triangulated.
+"""
+
+from __future__ import annotations
+
+from typing import List, TextIO, Union
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..geometry.mesh import TriangleMesh
+
+__all__ = ["write_obj", "read_obj"]
+
+
+def write_obj(mesh: TriangleMesh, target: Union[str, TextIO]) -> None:
+    """Write a mesh (with vertex colors) to an OBJ file."""
+    own = isinstance(target, str)
+    f = open(target, "w") if own else target
+    try:
+        f.write("# repro surface mesh\n")
+        f.write(f"# {mesh.n_vertices} vertices, {mesh.n_triangles} triangles\n")
+        for v, c in zip(mesh.vertices, mesh.vertex_colors):
+            r = int(c) / 255.0
+            f.write(f"v {v[0]:.12g} {v[1]:.12g} {v[2]:.12g} {r:.6f} 0 0\n")
+        for t in mesh.triangles:
+            f.write(f"f {t[0] + 1} {t[1] + 1} {t[2] + 1}\n")
+    finally:
+        if own:
+            f.close()
+
+
+def read_obj(source: Union[str, TextIO]) -> TriangleMesh:
+    """Read an OBJ file into a :class:`TriangleMesh`.
+
+    Supports ``v`` lines with optional r g b color extensions and ``f``
+    lines with ``v``, ``v/vt``, ``v/vt/vn`` or ``v//vn`` references;
+    polygons are fan-triangulated.  Negative (relative) indices are
+    supported as in the OBJ spec.
+    """
+    own = isinstance(source, str)
+    f = open(source, "r") if own else source
+    vertices: List[List[float]] = []
+    colors: List[int] = []
+    triangles: List[List[int]] = []
+    try:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            tag = parts[0]
+            if tag == "v":
+                if len(parts) < 4:
+                    raise GeometryError(f"line {lineno}: malformed vertex")
+                vertices.append([float(parts[1]), float(parts[2]), float(parts[3])])
+                if len(parts) >= 7:
+                    colors.append(int(round(float(parts[4]) * 255.0)))
+                else:
+                    colors.append(0)
+            elif tag == "f":
+                if len(parts) < 4:
+                    raise GeometryError(f"line {lineno}: face needs >= 3 vertices")
+                idx = []
+                for ref in parts[1:]:
+                    v_str = ref.split("/")[0]
+                    i = int(v_str)
+                    if i < 0:
+                        i = len(vertices) + i
+                    else:
+                        i = i - 1
+                    if not 0 <= i < len(vertices):
+                        raise GeometryError(
+                            f"line {lineno}: vertex reference {ref} out of range"
+                        )
+                    idx.append(i)
+                for k in range(1, len(idx) - 1):  # fan triangulation
+                    triangles.append([idx[0], idx[k], idx[k + 1]])
+            # vt / vn / usemtl / o / g / s are irrelevant here: skip.
+    finally:
+        if own:
+            f.close()
+    if not triangles:
+        raise GeometryError("OBJ contains no faces")
+    return TriangleMesh(
+        np.asarray(vertices, dtype=np.float64),
+        np.asarray(triangles, dtype=np.int64),
+        np.asarray(colors, dtype=np.int64),
+    )

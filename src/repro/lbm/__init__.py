@@ -1,0 +1,29 @@
+"""Lattice Boltzmann method core: lattice models, collision operators,
+equilibria, macroscopic moments, boundary conditions, and the kernel tiers."""
+
+from .collision import SRT, TRT, tau_to_viscosity, viscosity_to_tau
+from .equilibrium import equilibrium, equilibrium_cell
+from .lattice import D2Q9, D3Q15, D3Q19, D3Q27, LATTICE_MODELS, LatticeModel, generate_lattice
+from .macroscopic import density, macroscopic, momentum, velocity
+from .boundary import BoundaryHandling, NoSlip, PressureABB, UBB
+from .forcing import ConstantBodyForce
+from .stress import deviatoric_stress, shear_rate_magnitude, wall_shear_stress
+from .reference_flows import (
+    couette_profile,
+    duct_flow_profile,
+    poiseuille_slit_max_velocity,
+    poiseuille_slit_profile,
+)
+
+__all__ = [
+    "SRT", "TRT", "tau_to_viscosity", "viscosity_to_tau",
+    "equilibrium", "equilibrium_cell",
+    "D2Q9", "D3Q15", "D3Q19", "D3Q27", "LATTICE_MODELS", "LatticeModel",
+    "generate_lattice",
+    "density", "macroscopic", "momentum", "velocity",
+    "BoundaryHandling", "NoSlip", "PressureABB", "UBB",
+    "ConstantBodyForce",
+    "deviatoric_stress", "shear_rate_magnitude", "wall_shear_stress",
+    "couette_profile", "duct_flow_profile",
+    "poiseuille_slit_max_velocity", "poiseuille_slit_profile",
+]

@@ -1,0 +1,114 @@
+"""Collision operators: SRT (BGK) and TRT relaxation parameters.
+
+The paper uses the single-relaxation-time model of Bhatnagar, Gross and
+Krook and the two-relaxation-time model of Ginzburg et al. (§2.1).  TRT
+splits the PDFs into symmetric (even) and asymmetric (odd) parts, relaxed
+with separate rates ``lambda_e`` and ``lambda_o``; with
+``lambda_e = lambda_o = -1/tau`` it reduces exactly to SRT (eq. 8), which
+the test suite verifies bit-for-bit on the kernel level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["SRT", "TRT", "viscosity_to_tau", "tau_to_viscosity"]
+
+
+def viscosity_to_tau(nu: float, cs2: float = 1.0 / 3.0) -> float:
+    """Relaxation time for a kinematic lattice viscosity ``nu``: tau = nu/cs2 + 1/2."""
+    if nu <= 0.0:
+        raise ConfigurationError(f"lattice viscosity must be positive, got {nu}")
+    return nu / cs2 + 0.5
+
+
+def tau_to_viscosity(tau: float, cs2: float = 1.0 / 3.0) -> float:
+    """Kinematic lattice viscosity for relaxation time ``tau``."""
+    return cs2 * (tau - 0.5)
+
+
+@dataclass(frozen=True)
+class SRT:
+    """Single-relaxation-time (LBGK) collision model.
+
+    ``Omega_a = -(f_a - f_a^eq) / tau`` (eq. 5).  Stability requires
+    ``tau > 1/2``.
+    """
+
+    tau: float
+
+    def __post_init__(self) -> None:
+        if not self.tau > 0.5:
+            raise ConfigurationError(
+                f"SRT requires tau > 0.5 for stability, got tau={self.tau}"
+            )
+
+    @property
+    def omega(self) -> float:
+        """Relaxation rate 1/tau."""
+        return 1.0 / self.tau
+
+    @property
+    def viscosity(self) -> float:
+        return tau_to_viscosity(self.tau)
+
+    @classmethod
+    def from_viscosity(cls, nu: float) -> "SRT":
+        return cls(viscosity_to_tau(nu))
+
+
+@dataclass(frozen=True)
+class TRT:
+    """Two-relaxation-time collision model (eq. 7).
+
+    ``Omega_a = lambda_e (f_a^+ - f_a^{eq+}) + lambda_o (f_a^- - f_a^{eq-})``.
+
+    Both rates must lie in ``(-2, 0)``.  The even rate sets the shear
+    viscosity; the odd rate is conventionally chosen through the "magic"
+    parameter ``Lambda = (1/2 + 1/lambda_e)(1/2 + 1/lambda_o)``, with
+    ``Lambda = 3/16`` placing mid-link bounce-back walls exactly half-way.
+    """
+
+    lambda_e: float
+    lambda_o: float
+
+    def __post_init__(self) -> None:
+        for name, lam in (("lambda_e", self.lambda_e), ("lambda_o", self.lambda_o)):
+            if not -2.0 < lam < 0.0:
+                raise ConfigurationError(
+                    f"TRT requires {name} in (-2, 0), got {lam}"
+                )
+
+    @property
+    def viscosity(self) -> float:
+        """Kinematic lattice viscosity, set by the even relaxation rate."""
+        return tau_to_viscosity(-1.0 / self.lambda_e)
+
+    @property
+    def magic(self) -> float:
+        """The TRT 'magic' parameter Lambda."""
+        return (0.5 + 1.0 / self.lambda_e) * (0.5 + 1.0 / self.lambda_o)
+
+    @classmethod
+    def from_tau(cls, tau: float, magic: float = 3.0 / 16.0) -> "TRT":
+        """TRT with viscosity matching SRT(tau) and odd rate from ``magic``."""
+        if not tau > 0.5:
+            raise ConfigurationError(f"TRT requires tau > 0.5, got tau={tau}")
+        lambda_e = -1.0 / tau
+        # magic = (1/2 + 1/le)(1/2 + 1/lo)  =>  solve for lo.
+        denom = magic / (0.5 + 1.0 / lambda_e) - 0.5
+        if denom == 0.0:
+            raise ConfigurationError("degenerate magic parameter")
+        lambda_o = 1.0 / denom
+        return cls(lambda_e=lambda_e, lambda_o=lambda_o)
+
+    @classmethod
+    def srt_equivalent(cls, tau: float) -> "TRT":
+        """The TRT parameters that reduce to SRT(tau) exactly (eq. 8)."""
+        return cls(lambda_e=-1.0 / tau, lambda_o=-1.0 / tau)
+
+    @classmethod
+    def from_viscosity(cls, nu: float, magic: float = 3.0 / 16.0) -> "TRT":
+        return cls.from_tau(viscosity_to_tau(nu), magic)

@@ -1,0 +1,75 @@
+"""Equilibrium distribution functions.
+
+The standard second-order truncated Maxwell–Boltzmann equilibrium
+
+.. math::
+
+    f_\\alpha^{eq}(\\rho, u) = w_\\alpha \\rho \\left( 1
+        + \\frac{e_\\alpha \\cdot u}{c_s^2}
+        + \\frac{(e_\\alpha \\cdot u)^2}{2 c_s^4}
+        - \\frac{u \\cdot u}{2 c_s^2} \\right)
+
+used by both the SRT and TRT collision operators (§2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lattice import LatticeModel
+
+__all__ = ["equilibrium", "equilibrium_cell", "split_equilibrium"]
+
+
+def equilibrium(model: LatticeModel, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Compute equilibrium PDFs for fields of density and velocity.
+
+    Parameters
+    ----------
+    model:
+        The lattice model.
+    rho:
+        Density field of any shape ``S``.
+    u:
+        Velocity field of shape ``S + (dim,)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Equilibrium PDFs of shape ``(q,) + S``.
+    """
+    rho = np.asarray(rho, dtype=np.float64)
+    u = np.asarray(u, dtype=np.float64)
+    if u.shape[:-1] != rho.shape or u.shape[-1] != model.dim:
+        raise ValueError(
+            f"velocity shape {u.shape} incompatible with density shape "
+            f"{rho.shape} and dim {model.dim}"
+        )
+    inv_cs2 = 1.0 / model.cs2
+    # eu[a, ...] = e_a . u ; usq = u . u
+    eu = np.tensordot(model.velocities.astype(np.float64), u, axes=([1], [-1]))
+    usq = np.einsum("...i,...i->...", u, u)
+    w = model.weights.reshape((model.q,) + (1,) * rho.ndim)
+    feq = w * rho * (
+        1.0 + inv_cs2 * eu + 0.5 * inv_cs2 * inv_cs2 * eu * eu - 0.5 * inv_cs2 * usq
+    )
+    return feq
+
+
+def equilibrium_cell(model: LatticeModel, rho: float, u) -> np.ndarray:
+    """Equilibrium PDFs for a single cell; returns shape ``(q,)``."""
+    u = np.asarray(u, dtype=np.float64)
+    feq = equilibrium(model, np.asarray(rho, dtype=np.float64), u)
+    return feq.reshape(model.q)
+
+
+def split_equilibrium(model: LatticeModel, feq: np.ndarray):
+    """Split equilibrium PDFs into symmetric (even) and asymmetric (odd) parts.
+
+    Implements eq. (6) of the paper:
+    ``feq+ = (feq_a + feq_abar)/2`` and ``feq- = (feq_a - feq_abar)/2``.
+    Returns ``(feq_plus, feq_minus)`` with the same shape as ``feq``.
+    """
+    inv = model.inverse
+    feq_bar = feq[inv]
+    return 0.5 * (feq + feq_bar), 0.5 * (feq - feq_bar)

@@ -1,0 +1,23 @@
+"""LBM compute kernels: the paper's optimization tiers plus sparse-block
+strategies (see §4.1 and §4.3)."""
+
+from .common import alloc_pdf_field, interior_slices, pdf_shape, pull_slices
+from .d3q19 import d3q19_step
+from .generic import generic_step
+from .reference import reference_step
+from .registry import KERNEL_TIERS, make_kernel
+from .sparse import (
+    ConditionalSparseKernel,
+    IndexListSparseKernel,
+    IntervalSparseKernel,
+    fluid_intervals,
+)
+from .vectorized import VectorizedD3Q19Kernel
+
+__all__ = [
+    "alloc_pdf_field", "interior_slices", "pdf_shape", "pull_slices",
+    "d3q19_step", "generic_step", "reference_step",
+    "KERNEL_TIERS", "make_kernel",
+    "ConditionalSparseKernel", "IndexListSparseKernel", "IntervalSparseKernel",
+    "fluid_intervals", "VectorizedD3Q19Kernel",
+]

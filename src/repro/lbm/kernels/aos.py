@@ -1,0 +1,108 @@
+"""Array-of-Structures (AoS) layout kernel — the layout ablation.
+
+§4.1: "The lattice data structure can be stored in an 'Array of
+Structures' (AoS) or in a 'Structure of Arrays' (SoA) layout ...  To
+make use of the SIMD capabilities of modern architectures, the SoA
+layout was chosen."
+
+This kernel stores all PDFs of a cell consecutively (shape
+``padded + (q,)``) and performs the same fused stream-pull + collide
+update as the d3q19 kernel.  Per-direction operations then run on
+strided views (stride ``q * 8`` bytes), defeating contiguous streaming —
+the NumPy analog of AoS defeating SIMD.  The layout benchmark measures
+the resulting slowdown against the SoA kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..collision import SRT, TRT
+from ..lattice import D3Q19, LatticeModel
+from .common import pull_slices
+from .d3q19 import build_pair_table
+
+__all__ = ["aos_step", "soa_to_aos", "aos_to_soa"]
+
+Collision = Union[SRT, TRT]
+
+_PAIRS = build_pair_table(D3Q19)
+_W0 = float(D3Q19.weights[0])
+
+
+def soa_to_aos(f: np.ndarray) -> np.ndarray:
+    """Convert a ``(q,) + padded`` SoA array to ``padded + (q,)`` AoS."""
+    return np.ascontiguousarray(np.moveaxis(f, 0, -1))
+
+
+def aos_to_soa(f: np.ndarray) -> np.ndarray:
+    """Convert a ``padded + (q,)`` AoS array to ``(q,) + padded`` SoA."""
+    return np.ascontiguousarray(np.moveaxis(f, -1, 0))
+
+
+def _check(model: LatticeModel, src: np.ndarray, dst: np.ndarray) -> None:
+    if model.name != "D3Q19":
+        raise ValueError(f"aos_step only supports D3Q19, got {model.name}")
+    if src.shape != dst.shape:
+        raise ValueError(f"src shape {src.shape} != dst shape {dst.shape}")
+    if src.ndim != 4 or src.shape[-1] != 19:
+        raise ValueError(f"expected AoS shape (*, *, *, 19), got {src.shape}")
+    if src is dst:
+        raise ValueError("src and dst must be distinct arrays")
+    if any(s < 3 for s in src.shape[:-1]):
+        raise ValueError("each spatial extent must be >= 3")
+
+
+def aos_step(
+    model: LatticeModel,
+    src: np.ndarray,
+    dst: np.ndarray,
+    collision: Collision,
+) -> None:
+    """One fused stream-pull + collide step on AoS-layout fields."""
+    _check(model, src, dst)
+    interior = (slice(1, -1),) * 3
+    vels = model.velocities
+
+    # Pulled per-direction values: strided views into the AoS array.
+    g = [src[pull_slices(vels[a]) + (a,)] for a in range(19)]
+
+    rho = g[0] + g[1]
+    for a in range(2, 19):
+        rho = rho + g[a]
+    jx = np.zeros_like(rho)
+    jy = np.zeros_like(rho)
+    jz = np.zeros_like(rho)
+    for a in range(1, 19):
+        ex, ey, ez = int(vels[a, 0]), int(vels[a, 1]), int(vels[a, 2])
+        if ex:
+            jx += g[a] if ex == 1 else -g[a]
+        if ey:
+            jy += g[a] if ey == 1 else -g[a]
+        if ez:
+            jz += g[a] if ez == 1 else -g[a]
+    inv_rho = 1.0 / rho
+    ux = jx * inv_rho
+    uy = jy * inv_rho
+    uz = jz * inv_rho
+    usq_term = 1.0 - 1.5 * (ux * ux + uy * uy + uz * uz)
+
+    if isinstance(collision, SRT):
+        lam_e = lam_o = -1.0 / collision.tau
+    else:
+        lam_e, lam_o = collision.lambda_e, collision.lambda_o
+
+    feq0 = _W0 * rho * usq_term
+    dst[interior + (0,)] = g[0] + lam_e * (g[0] - feq0)
+    for a, b, w, e in _PAIRS:
+        eu = e[0] * ux + e[1] * uy + e[2] * uz
+        wrho = w * rho
+        eq_plus = wrho * (usq_term + 4.5 * eu * eu)
+        eq_minus = 3.0 * wrho * eu
+        ga, gb = g[a], g[b]
+        sym = lam_e * (0.5 * (ga + gb) - eq_plus)
+        asym = lam_o * (0.5 * (ga - gb) - eq_minus)
+        dst[interior + (a,)] = ga + sym + asym
+        dst[interior + (b,)] = gb + sym - asym

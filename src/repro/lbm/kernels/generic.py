@@ -1,0 +1,61 @@
+"""Generic vectorized kernel — works for any lattice model.
+
+This is the analog of the paper's "Generic" kernel tier (§4.1): a
+straightforward implementation written for arbitrary lattice models,
+"very similar to the mathematical formulation".  Streaming and collision
+are separate passes, the equilibrium is evaluated through the generic
+:func:`repro.lbm.equilibrium.equilibrium` routine, and many full-size
+temporary arrays are created — which is exactly why it is the slowest
+vectorized tier, just as the generic C++ kernel is the slowest compiled
+tier in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..collision import SRT, TRT
+from ..equilibrium import equilibrium, split_equilibrium
+from ..lattice import LatticeModel
+from ..macroscopic import density, velocity
+from .common import check_pdf_args, interior_slices, pull_slices
+
+__all__ = ["generic_step"]
+
+Collision = Union[SRT, TRT]
+
+
+def generic_step(
+    model: LatticeModel,
+    src: np.ndarray,
+    dst: np.ndarray,
+    collision: Collision,
+) -> None:
+    """One LBM step: separate stream-pull pass, then a collide pass."""
+    check_pdf_args(model, src, dst)
+    interior = interior_slices(model.dim)
+
+    # Pass 1 — streaming: pull each direction from its upstream region.
+    pulled = np.empty((model.q,) + tuple(s - 2 for s in src.shape[1:]))
+    for a in range(model.q):
+        pulled[a] = src[(a,) + pull_slices(model.velocities[a])]
+
+    # Pass 2 — collision on the pulled (pre-collision) values.
+    rho = density(model, pulled)
+    u = velocity(model, pulled, rho)
+    feq = equilibrium(model, rho, u)
+    if isinstance(collision, SRT):
+        post = pulled - (pulled - feq) / collision.tau
+    else:
+        inv = model.inverse
+        f_plus = 0.5 * (pulled + pulled[inv])
+        f_minus = 0.5 * (pulled - pulled[inv])
+        feq_plus, feq_minus = split_equilibrium(model, feq)
+        post = (
+            pulled
+            + collision.lambda_e * (f_plus - feq_plus)
+            + collision.lambda_o * (f_minus - feq_minus)
+        )
+    dst[(slice(None),) + interior] = post

@@ -1,0 +1,88 @@
+"""Kernel registry: construct any kernel tier by name.
+
+Mirrors the paper's three optimization stages (§4.1, Figure 3) plus the
+pure-Python reference used only for verification:
+
+==============  =====================================================
+``reference``   per-cell Python loops (ground truth, tests only)
+``generic``     any lattice model, separate stream/collide passes
+``d3q19``       model-specialized, fused, common subexpressions
+``vectorized``  SoA split-loop, allocation-free (the "SIMD" analog)
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple, Union
+
+import numpy as np
+
+from ..collision import SRT, TRT
+from ..lattice import D3Q19, LatticeModel
+from .d3q19 import d3q19_step
+from .generic import generic_step
+from .reference import reference_step
+from .vectorized import VectorizedD3Q19Kernel
+
+__all__ = ["make_kernel", "KERNEL_TIERS"]
+
+Collision = Union[SRT, TRT]
+Kernel = Callable[[np.ndarray, np.ndarray], None]
+
+#: Ordered tiers, slowest to fastest (paper's optimization stages).
+KERNEL_TIERS = ("reference", "generic", "d3q19", "vectorized")
+
+
+class _StatelessKernel:
+    """Adapter giving step functions the two-argument kernel protocol."""
+
+    def __init__(self, name: str, fn, model: LatticeModel, collision: Collision):
+        self.name = name
+        self.model = model
+        self.collision = collision
+        self._fn = fn
+
+    def __call__(self, src: np.ndarray, dst: np.ndarray) -> None:
+        self._fn(self.model, src, dst, self.collision)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.name} kernel, {self.model.name}, {self.collision}>"
+
+
+def make_kernel(
+    tier: str,
+    model: LatticeModel,
+    collision: Collision,
+    cells: Tuple[int, ...] | None = None,
+) -> Kernel:
+    """Build a kernel of the given tier.
+
+    Parameters
+    ----------
+    tier:
+        One of :data:`KERNEL_TIERS`.
+    model:
+        Lattice model; ``d3q19`` and ``vectorized`` require D3Q19.
+    collision:
+        SRT or TRT parameters.
+    cells:
+        Interior cell counts — required for the stateful ``vectorized``
+        tier (it preallocates scratch buffers), ignored otherwise.
+    """
+    if tier == "reference":
+        return _StatelessKernel(tier, reference_step, model, collision)
+    if tier == "generic":
+        return _StatelessKernel(tier, generic_step, model, collision)
+    if tier == "d3q19":
+        if model.name != "D3Q19":
+            raise ValueError(f"tier 'd3q19' requires the D3Q19 model, got {model.name}")
+        return _StatelessKernel(tier, d3q19_step, model, collision)
+    if tier == "vectorized":
+        if model.name != "D3Q19":
+            raise ValueError(
+                f"tier 'vectorized' requires the D3Q19 model, got {model.name}"
+            )
+        if cells is None:
+            raise ValueError("tier 'vectorized' needs the interior cell counts")
+        return VectorizedD3Q19Kernel(cells, collision)
+    raise ValueError(f"unknown kernel tier {tier!r}; choose from {KERNEL_TIERS}")

@@ -1,0 +1,218 @@
+"""Lattice (stencil) models for the lattice Boltzmann method.
+
+waLBerla generates the code describing its LB stencils (D3Q19, D3Q27,
+D2Q9, ...) automatically (§2.2 of the paper).  The analog here is
+:func:`generate_lattice`, which builds a complete :class:`LatticeModel`
+— velocity set, weights, inverse directions, and the symmetric/asymmetric
+index pairing needed by the TRT collision operator — from a compact
+stencil specification, instead of hard-coding each model.
+
+All arrays are immutable (``writeable=False``) so a model can be shared
+freely between kernels and processes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "LatticeModel",
+    "generate_lattice",
+    "D3Q19",
+    "D3Q27",
+    "D3Q15",
+    "D2Q9",
+    "LATTICE_MODELS",
+]
+
+
+def _frozen(a: np.ndarray) -> np.ndarray:
+    a = np.ascontiguousarray(a)
+    a.setflags(write=False)
+    return a
+
+
+@dataclass(frozen=True)
+class LatticeModel:
+    """An immutable description of a DdQq lattice model.
+
+    Attributes
+    ----------
+    name:
+        Canonical model name, e.g. ``"D3Q19"``.
+    dim:
+        Spatial dimension ``d``.
+    q:
+        Number of discrete velocities (PDFs per cell).
+    velocities:
+        Integer array of shape ``(q, dim)`` with the discrete velocity set
+        :math:`e_\\alpha`.  Direction 0 is always the rest velocity.
+    weights:
+        Array of shape ``(q,)`` with the lattice weights
+        :math:`w_\\alpha`; they sum to 1.
+    inverse:
+        ``inverse[a]`` is the index :math:`\\bar\\alpha` of the velocity
+        opposite to ``a`` (used by bounce-back and the TRT split).
+    cs2:
+        Lattice speed of sound squared (1/3 for all standard models).
+    """
+
+    name: str
+    dim: int
+    q: int
+    velocities: np.ndarray
+    weights: np.ndarray
+    inverse: np.ndarray
+    cs2: float = 1.0 / 3.0
+    _dir_index: Dict[Tuple[int, ...], int] = field(default_factory=dict, repr=False)
+
+    def direction_index(self, *e: int) -> int:
+        """Return the index of velocity ``e`` (e.g. ``direction_index(1, 0, 0)``)."""
+        key = tuple(e)
+        try:
+            return self._dir_index[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name} has no velocity {key}"
+            ) from None
+
+    @property
+    def nonrest(self) -> np.ndarray:
+        """Indices of all non-rest directions (1..q-1)."""
+        return np.arange(1, self.q)
+
+    def symmetric_pairs(self) -> np.ndarray:
+        """Return an array of shape ``(n_pairs, 2)`` of (α, ᾱ) index pairs.
+
+        Each opposite-velocity pair appears exactly once with the smaller
+        index first; the rest direction (self-inverse) is excluded.  Used
+        by the TRT operator's even/odd split (§2.1, eq. 6).
+        """
+        pairs = []
+        for a in range(self.q):
+            b = int(self.inverse[a])
+            if a < b:
+                pairs.append((a, b))
+        return np.asarray(pairs, dtype=np.int64)
+
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`ConfigurationError`."""
+        if self.velocities.shape != (self.q, self.dim):
+            raise ConfigurationError(f"{self.name}: velocity shape mismatch")
+        if not math.isclose(float(self.weights.sum()), 1.0, rel_tol=1e-12):
+            raise ConfigurationError(f"{self.name}: weights do not sum to 1")
+        if np.any(self.velocities[0] != 0):
+            raise ConfigurationError(f"{self.name}: direction 0 must be rest")
+        for a in range(self.q):
+            b = int(self.inverse[a])
+            if np.any(self.velocities[a] != -self.velocities[b]):
+                raise ConfigurationError(
+                    f"{self.name}: inverse[{a}]={b} is not the opposite velocity"
+                )
+        # First moment of the weights must vanish, second must be cs2 * I.
+        w = self.weights[:, None]
+        if not np.allclose((w * self.velocities).sum(axis=0), 0.0, atol=1e-12):
+            raise ConfigurationError(f"{self.name}: first weight moment nonzero")
+        second = np.einsum("a,ai,aj->ij", self.weights, self.velocities, self.velocities)
+        if not np.allclose(second, self.cs2 * np.eye(self.dim), atol=1e-12):
+            raise ConfigurationError(f"{self.name}: second weight moment != cs2*I")
+
+
+def _weight_for_speed2(spec: Dict[int, float], e: np.ndarray) -> float:
+    s2 = int(np.dot(e, e))
+    try:
+        return spec[s2]
+    except KeyError:
+        raise ConfigurationError(f"no weight for squared speed {s2}") from None
+
+
+def generate_lattice(
+    name: str,
+    dim: int,
+    max_component: int,
+    allowed_speeds2: Dict[int, float],
+) -> LatticeModel:
+    """Generate a lattice model from a stencil specification.
+
+    Enumerates all integer velocities with components in
+    ``[-max_component, max_component]`` whose squared speed appears in
+    ``allowed_speeds2`` (a map squared-speed → weight), orders them
+    rest-first then by squared speed (then lexicographically for
+    determinism), and derives inverse-direction indices.
+
+    This mirrors waLBerla's generated stencil code: one specification per
+    model, all index tables derived mechanically.
+    """
+    if dim not in (2, 3):
+        raise ConfigurationError(f"unsupported dimension {dim}")
+    rng = range(-max_component, max_component + 1)
+    vels = []
+    if dim == 2:
+        candidates = [(x, y) for x in rng for y in rng]
+    else:
+        candidates = [(x, y, z) for x in rng for y in rng for z in rng]
+    for c in candidates:
+        s2 = sum(v * v for v in c)
+        if s2 in allowed_speeds2:
+            vels.append(c)
+    # Deterministic order: by squared speed, then lexicographic.
+    vels.sort(key=lambda c: (sum(v * v for v in c), c))
+    if sum(v * v for v in vels[0]) != 0:
+        raise ConfigurationError("stencil specification lacks the rest velocity")
+    velocities = np.asarray(vels, dtype=np.int64)
+    q = len(vels)
+    weights = np.asarray(
+        [_weight_for_speed2(allowed_speeds2, e) for e in velocities], dtype=np.float64
+    )
+    index_of = {tuple(int(v) for v in e): i for i, e in enumerate(velocities)}
+    inverse = np.asarray(
+        [index_of[tuple(int(-v) for v in e)] for e in velocities], dtype=np.int64
+    )
+    model = LatticeModel(
+        name=name,
+        dim=dim,
+        q=q,
+        velocities=_frozen(velocities),
+        weights=_frozen(weights),
+        inverse=_frozen(inverse),
+        _dir_index=index_of,
+    )
+    model.validate()
+    return model
+
+
+#: The D3Q19 model of Qian, d'Humières and Lallemand — used for every
+#: simulation in the paper (§2.1).
+D3Q19 = generate_lattice(
+    "D3Q19", dim=3, max_component=1,
+    allowed_speeds2={0: 1.0 / 3.0, 1: 1.0 / 18.0, 2: 1.0 / 36.0},
+)
+
+#: Full 27-point 3-D stencil.
+D3Q27 = generate_lattice(
+    "D3Q27", dim=3, max_component=1,
+    allowed_speeds2={0: 8.0 / 27.0, 1: 2.0 / 27.0, 2: 1.0 / 54.0, 3: 1.0 / 216.0},
+)
+
+#: 15-point 3-D stencil (face + corner neighbours).
+D3Q15 = generate_lattice(
+    "D3Q15", dim=3, max_component=1,
+    allowed_speeds2={0: 2.0 / 9.0, 1: 1.0 / 9.0, 3: 1.0 / 72.0},
+)
+
+#: Standard 2-D nine-velocity model.
+D2Q9 = generate_lattice(
+    "D2Q9", dim=2, max_component=1,
+    allowed_speeds2={0: 4.0 / 9.0, 1: 1.0 / 9.0, 2: 1.0 / 36.0},
+)
+
+#: Registry of all generated models by name.
+LATTICE_MODELS: Dict[str, LatticeModel] = {
+    m.name: m for m in (D3Q19, D3Q27, D3Q15, D2Q9)
+}

@@ -1,0 +1,42 @@
+"""Macroscopic moment computation: density and velocity from PDFs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lattice import LatticeModel
+
+__all__ = ["density", "velocity", "momentum", "macroscopic"]
+
+
+def density(model: LatticeModel, f: np.ndarray) -> np.ndarray:
+    """Zeroth moment: ``rho = sum_a f_a``.  ``f`` has shape ``(q,) + S``."""
+    if f.shape[0] != model.q:
+        raise ValueError(f"PDF leading dimension {f.shape[0]} != q={model.q}")
+    return f.sum(axis=0)
+
+
+def momentum(model: LatticeModel, f: np.ndarray) -> np.ndarray:
+    """First moment: ``j_i = sum_a e_{a,i} f_a``; shape ``S + (dim,)``."""
+    if f.shape[0] != model.q:
+        raise ValueError(f"PDF leading dimension {f.shape[0]} != q={model.q}")
+    e = model.velocities.astype(np.float64)
+    j = np.tensordot(f, e, axes=([0], [0]))
+    return j
+
+
+def velocity(model: LatticeModel, f: np.ndarray, rho: np.ndarray | None = None) -> np.ndarray:
+    """Velocity ``u = j / rho``.  Cells with rho == 0 get u = 0."""
+    if rho is None:
+        rho = density(model, f)
+    j = momentum(model, f)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        u = j / rho[..., None]
+    u = np.where(np.isfinite(u), u, 0.0)
+    return u
+
+
+def macroscopic(model: LatticeModel, f: np.ndarray):
+    """Return ``(rho, u)`` in one pass."""
+    rho = density(model, f)
+    return rho, velocity(model, f, rho)

@@ -1,0 +1,87 @@
+"""Analytic reference solutions for validating the LBM core.
+
+These are the classical incompressible flows with closed-form solutions;
+the test suite drives the kernels + boundary conditions against them.
+All quantities are in lattice units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "couette_profile",
+    "poiseuille_slit_profile",
+    "poiseuille_slit_max_velocity",
+    "duct_flow_profile",
+]
+
+
+def couette_profile(z: np.ndarray, height: float, u_wall: float) -> np.ndarray:
+    """Plane Couette flow: linear profile between a resting wall at
+    ``z = 0`` and a wall moving with ``u_wall`` at ``z = height``."""
+    z = np.asarray(z, dtype=np.float64)
+    return u_wall * z / height
+
+
+def poiseuille_slit_profile(
+    z: np.ndarray, height: float, force: float, nu: float, rho: float = 1.0
+) -> np.ndarray:
+    """Body-force-driven flow between parallel plates at z = 0 and
+    z = height: ``u(z) = F / (2 rho nu) * z (H - z)``."""
+    if nu <= 0 or height <= 0:
+        raise ConfigurationError("need positive viscosity and height")
+    z = np.asarray(z, dtype=np.float64)
+    return force / (2.0 * rho * nu) * z * (height - z)
+
+
+def poiseuille_slit_max_velocity(
+    height: float, force: float, nu: float, rho: float = 1.0
+) -> float:
+    """Centerline velocity of the slit Poiseuille flow: F H^2 / (8 rho nu)."""
+    return force * height**2 / (8.0 * rho * nu)
+
+
+def duct_flow_profile(
+    y: np.ndarray,
+    z: np.ndarray,
+    width: float,
+    height: float,
+    force: float,
+    nu: float,
+    rho: float = 1.0,
+    terms: int = 30,
+) -> np.ndarray:
+    """Fully developed laminar flow in a rectangular duct.
+
+    The classical Fourier series solution (e.g. White, *Viscous Fluid
+    Flow*): with walls at ``y in {0, W}`` and ``z in {0, H}``,
+
+    .. math::
+
+        u(y, z) = \\frac{4 F H^2}{\\pi^3 \\rho \\nu} \\sum_{n odd}
+            \\frac{1}{n^3}
+            \\left[1 - \\frac{\\cosh(n\\pi(y - W/2)/H)}
+                           {\\cosh(n\\pi W / (2H))}\\right]
+            \\sin(n \\pi z / H)
+
+    ``y`` and ``z`` broadcast together to the output shape.
+    """
+    if nu <= 0 or width <= 0 or height <= 0:
+        raise ConfigurationError("need positive viscosity and duct size")
+    if terms < 1:
+        raise ConfigurationError("need at least one series term")
+    y = np.asarray(y, dtype=np.float64)
+    z = np.asarray(z, dtype=np.float64)
+    u = np.zeros(np.broadcast_shapes(y.shape, z.shape))
+    pref = 4.0 * force * height**2 / (np.pi**3 * rho * nu)
+    for i in range(terms):
+        n = 2 * i + 1
+        with np.errstate(over="ignore"):
+            ratio = np.cosh(n * np.pi * (y - width / 2.0) / height) / np.cosh(
+                n * np.pi * width / (2.0 * height)
+            )
+        u = u + pref / n**3 * (1.0 - ratio) * np.sin(n * np.pi * z / height)
+    return u

@@ -1,0 +1,156 @@
+"""Execution-Cache-Memory (ECM) performance model (Treibig & Hager [36],
+Hager et al. [19], applied as in §4.1 / Figure 4).
+
+The runtime of one unit of work (eight lattice cell updates = one cache
+line of each of the 57 load/store/write-allocate streams) is split into
+
+* ``T_core`` — in-core execution with all data in L1 (IACA: 448 cycles
+  on Sandy Bridge),
+* inter-cache transfer times (2 cycles per cache line and hop -> 114
+  cycles per level pair), and
+* the memory transfer time, from the measured multi-stream bandwidth.
+
+Following the paper we assume *no overlap*: a cache either evicts or
+reloads, never both, so the single-core time is the plain sum.  Multiple
+cores scale linearly until the memory interface saturates at the
+roofline bound; the bandwidth itself shrinks slightly at reduced clock
+(Schöne et al. [33]), which is why 1.6 GHz delivers 93 % — not 100 % —
+of the 2.7 GHz socket performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..constants import D3Q19_BYTES_PER_CELL_WRITE_ALLOCATE
+from .machines import MachineSpec
+from .roofline import roofline_mlups
+
+__all__ = ["EcmModel", "EcmPrediction"]
+
+#: Work unit of the model: one cache line (8 doubles) per stream.
+UPDATES_PER_WORK_UNIT = 8
+
+
+@dataclass(frozen=True)
+class EcmPrediction:
+    """ECM output for one (machine, clock, cores, SMT) configuration."""
+
+    clock_hz: float
+    cores: int
+    smt: int
+    single_core_mlups: float
+    mlups: float
+    saturated: bool
+    roofline_mlups: float
+    socket_power_w: float
+
+    @property
+    def energy_per_glup_j(self) -> float:
+        """Socket energy per giga lattice updates [J]."""
+        return self.socket_power_w / (self.mlups * 1e6) * 1e9
+
+
+class EcmModel:
+    """ECM model of the TRT/SRT D3Q19 kernel on one socket.
+
+    Parameters
+    ----------
+    machine:
+        Machine description with the ECM constants.
+    bytes_per_update:
+        Memory traffic per cell update (456 B for write-allocate D3Q19).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        bytes_per_update: float = D3Q19_BYTES_PER_CELL_WRITE_ALLOCATE,
+    ):
+        self.machine = machine
+        self.bytes_per_update = float(bytes_per_update)
+
+    # -- single core --------------------------------------------------------
+    def memory_cycles(self, clock_hz: Optional[float] = None) -> float:
+        """Cycles to move one work unit over the memory interface."""
+        clock = clock_hz or self.machine.clock_hz
+        bw = self.machine.bandwidth_at_clock(clock)
+        bytes_per_unit = self.bytes_per_update * UPDATES_PER_WORK_UNIT
+        return bytes_per_unit / bw * clock
+
+    def single_core_cycles(
+        self, clock_hz: Optional[float] = None, smt: int = 1
+    ) -> float:
+        """No-overlap ECM sum for one work unit on one core."""
+        try:
+            smt_factor = self.machine.smt_scaling[smt]
+        except KeyError:
+            raise ValueError(
+                f"{self.machine.name} has no SMT level {smt}; "
+                f"available: {sorted(self.machine.smt_scaling)}"
+            ) from None
+        t_core = self.machine.ecm_core_cycles / smt_factor
+        t_cache = sum(self.machine.ecm_transfer_cycles)
+        return t_core + t_cache + self.memory_cycles(clock_hz)
+
+    def single_core_mlups(
+        self, clock_hz: Optional[float] = None, smt: int = 1
+    ) -> float:
+        clock = clock_hz or self.machine.clock_hz
+        cycles = self.single_core_cycles(clock, smt)
+        return UPDATES_PER_WORK_UNIT * clock / cycles / 1e6
+
+    # -- multicore ------------------------------------------------------------
+    def roofline(self, clock_hz: Optional[float] = None) -> float:
+        clock = clock_hz or self.machine.clock_hz
+        return roofline_mlups(
+            self.machine.bandwidth_at_clock(clock), self.bytes_per_update
+        )
+
+    def predict(
+        self,
+        cores: int,
+        clock_hz: Optional[float] = None,
+        smt: int = 1,
+    ) -> EcmPrediction:
+        """Socket performance with ``cores`` active cores."""
+        if cores < 1 or cores > self.machine.cores_per_socket:
+            raise ValueError(
+                f"cores must be in [1, {self.machine.cores_per_socket}]"
+            )
+        clock = clock_hz or self.machine.clock_hz
+        p1 = self.single_core_mlups(clock, smt)
+        roof = self.roofline(clock)
+        linear = cores * p1
+        return EcmPrediction(
+            clock_hz=clock,
+            cores=cores,
+            smt=smt,
+            single_core_mlups=p1,
+            mlups=min(linear, roof),
+            saturated=linear >= roof,
+            roofline_mlups=roof,
+            socket_power_w=self.machine.socket_power(clock),
+        )
+
+    def saturation_cores(
+        self, clock_hz: Optional[float] = None, smt: int = 1
+    ) -> int:
+        """Cores needed to saturate the memory interface."""
+        clock = clock_hz or self.machine.clock_hz
+        p1 = self.single_core_mlups(clock, smt)
+        return int(np.ceil(self.roofline(clock) / p1))
+
+    def frequency_sweep(self, clocks_hz, smt: int = 1):
+        """Full-socket prediction per clock — the Figure 4 study."""
+        cores = self.machine.cores_per_socket
+        return [self.predict(cores, clock_hz=c, smt=smt) for c in clocks_hz]
+
+    def optimal_frequency(self, clocks_hz, smt: int = 1) -> EcmPrediction:
+        """Clock with minimal energy per update at full socket (§4.1:
+        'the ECM model suggests an optimal clock frequency of 1.6 GHz')."""
+        sweep = self.frequency_sweep(clocks_hz, smt)
+        return min(sweep, key=lambda p: p.energy_per_glup_j)

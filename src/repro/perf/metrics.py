@@ -1,0 +1,60 @@
+"""LBM performance metrics (§4): MLUPS, MFLUPS and derived quantities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import D3Q19_BYTES_PER_CELL_WRITE_ALLOCATE
+
+__all__ = [
+    "mlups",
+    "mflups",
+    "parallel_efficiency",
+    "bandwidth_utilization",
+    "flops_estimate",
+]
+
+
+def mlups(cell_updates: float, seconds: float) -> float:
+    """Million lattice cell updates per second; counts *all* traversed
+    cells, fluid or not (§4)."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return cell_updates / seconds / 1e6
+
+
+def mflups(fluid_cell_updates: float, seconds: float) -> float:
+    """Million *fluid* lattice cell updates per second (§4)."""
+    return mlups(fluid_cell_updates, seconds)
+
+
+def parallel_efficiency(perf_per_core: float, baseline_per_core: float) -> float:
+    """Weak-scaling efficiency: per-core rate relative to the smallest run."""
+    if baseline_per_core <= 0:
+        raise ValueError("baseline must be positive")
+    return perf_per_core / baseline_per_core
+
+
+def bandwidth_utilization(
+    lups: float,
+    available_bandwidth: float,
+    bytes_per_update: float = D3Q19_BYTES_PER_CELL_WRITE_ALLOCATE,
+) -> float:
+    """Fraction of available memory bandwidth actually streamed.
+
+    The paper computes 54.2 % for the largest SuperMUC run and 67.4 % on
+    the full JUQUEEN, using 19 * 3 * 8 bytes per update.
+    """
+    if available_bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    return lups * bytes_per_update / available_bandwidth
+
+
+def flops_estimate(lups: float, flops_per_update: float = 200.0) -> float:
+    """FLOPS from an update rate.
+
+    The paper quotes 837 GLUPS = 166 TFLOPS and 1.93 TLUPS = 383 TFLOPS,
+    i.e. ~198 FLOPs per (TRT D3Q19) cell update; 200 is the round figure
+    used here.
+    """
+    return lups * flops_per_update

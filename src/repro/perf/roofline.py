@@ -1,0 +1,70 @@
+"""Roofline performance model (Williams et al. [38], applied as in §4.1).
+
+"To update one fluid cell, 19 double values have to be streamed from
+memory and back.  Assuming a write allocate cache strategy ... a total
+amount of 456 bytes per cell has to be transferred over the memory
+interface":
+
+    37.3 GiB/s : 456 B/LUP = 87.8 MLUPS   (SuperMUC socket)
+    32.4 GiB/s : 456 B/LUP = 76.2 MLUPS   (JUQUEEN node)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import D3Q19_BYTES_PER_CELL_WRITE_ALLOCATE
+from .machines import MachineSpec
+
+__all__ = ["lbm_traffic_per_cell", "roofline_mlups", "RooflinePoint", "machine_roofline"]
+
+
+def lbm_traffic_per_cell(
+    q: int = 19, value_bytes: int = 8, write_allocate: bool = True
+) -> int:
+    """Memory traffic per lattice cell update in bytes.
+
+    ``q`` loads + ``q`` stores, plus ``q`` write-allocate line reads when
+    the cache allocates on store misses (no non-temporal stores).
+    """
+    streams = 3 if write_allocate else 2
+    return streams * q * value_bytes
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Bandwidth-limited performance bound."""
+
+    bandwidth_bytes_per_s: float
+    bytes_per_update: float
+
+    @property
+    def mlups(self) -> float:
+        return self.bandwidth_bytes_per_s / self.bytes_per_update / 1e6
+
+    @property
+    def lups(self) -> float:
+        return self.bandwidth_bytes_per_s / self.bytes_per_update
+
+
+def roofline_mlups(bandwidth_bytes_per_s: float, bytes_per_update: float) -> float:
+    """Attainable MLUPS for a purely bandwidth-bound kernel."""
+    if bandwidth_bytes_per_s <= 0 or bytes_per_update <= 0:
+        raise ValueError("bandwidth and traffic must be positive")
+    return bandwidth_bytes_per_s / bytes_per_update / 1e6
+
+
+def machine_roofline(
+    machine: MachineSpec,
+    per: str = "socket",
+    bytes_per_update: float = D3Q19_BYTES_PER_CELL_WRITE_ALLOCATE,
+) -> RooflinePoint:
+    """Roofline bound for one socket or one node of a machine, using the
+    LBM-pattern (multi-stream) bandwidth as the paper does."""
+    if per == "socket":
+        bw = machine.lbm_bandwidth
+    elif per == "node":
+        bw = machine.node_lbm_bandwidth
+    else:
+        raise ValueError(f"per must be 'socket' or 'node', got {per!r}")
+    return RooflinePoint(bandwidth_bytes_per_s=bw, bytes_per_update=bytes_per_update)

@@ -1,0 +1,77 @@
+"""STREAM-style bandwidth measurement (McCalpin [28], used in §4.1).
+
+The paper determines each machine's attainable bandwidth with STREAM and
+with "a more refined stream benchmark that takes the LBM memory access
+pattern of multiple concurrent load and store streams into account".
+Both are implemented here for the *host* machine, so the Python-level
+roofline of the NumPy kernels can be grounded in a measured number the
+same way the paper grounds its C++ kernels.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StreamResult", "measure_copy_bandwidth", "measure_lbm_pattern_bandwidth"]
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of a bandwidth measurement."""
+
+    bandwidth_bytes_per_s: float
+    bytes_moved: int
+    seconds: float
+
+    @property
+    def gib_per_s(self) -> float:
+        return self.bandwidth_bytes_per_s / 1024**3
+
+
+def measure_copy_bandwidth(
+    n_doubles: int = 8_000_000, repeats: int = 5
+) -> StreamResult:
+    """STREAM "copy": b[:] = a.  Counts read + write (+ write-allocate
+    is not separately visible from Python, so 16 B/element are counted,
+    matching STREAM's convention)."""
+    a = np.random.default_rng(0).random(n_doubles)
+    b = np.empty_like(a)
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.copyto(b, a)
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+    nbytes = 2 * a.nbytes
+    return StreamResult(nbytes / best, nbytes, best)
+
+
+def measure_lbm_pattern_bandwidth(
+    n_doubles: int = 1_000_000,
+    n_streams: int = 19,
+    repeats: int = 3,
+) -> StreamResult:
+    """Bandwidth with many concurrent load and store streams.
+
+    Emulates the LBM access pattern: ``n_streams`` independent source
+    arrays each copied to an independent destination (one per PDF
+    direction).  On most hardware this yields a lower figure than plain
+    STREAM copy — the same effect that takes JUQUEEN from 42.4 down to
+    32.4 GiB/s in the paper.
+    """
+    rng = np.random.default_rng(1)
+    srcs = [rng.random(n_doubles) for _ in range(n_streams)]
+    dsts = [np.empty(n_doubles) for _ in range(n_streams)]
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for s, d in zip(srcs, dsts):
+            np.copyto(d, s)
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+    nbytes = 2 * n_streams * srcs[0].nbytes
+    return StreamResult(nbytes / best, nbytes, best)

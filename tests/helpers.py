@@ -1,0 +1,34 @@
+"""Shared test utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def periodic_ghost_fill(f: np.ndarray) -> None:
+    """Fill the one-cell ghost layers of ``f`` periodically, in place.
+
+    ``f`` has shape ``(q,) + padded``.  Applying the copy axis by axis
+    also fills edge/corner ghosts correctly.
+    """
+    dim = f.ndim - 1
+    for d in range(1, dim + 1):
+        lo = [slice(None)] * f.ndim
+        hi = [slice(None)] * f.ndim
+        lo[d] = 0
+        hi[d] = -2
+        f[tuple(lo)] = f[tuple(hi)]
+        lo[d] = -1
+        hi[d] = 1
+        f[tuple(lo)] = f[tuple(hi)]
+
+
+def random_pdfs(rng, model, cells, lo: float = 0.4, hi: float = 0.6) -> np.ndarray:
+    """Random positive PDF field (padded) with moderate densities."""
+    shape = (model.q,) + tuple(c + 2 for c in cells)
+    return lo + (hi - lo) * rng.random(shape)
+
+
+def interior(f: np.ndarray) -> np.ndarray:
+    """Interior view of a padded (q,)+S array."""
+    return f[(slice(None),) + (slice(1, -1),) * (f.ndim - 1)]

@@ -1,0 +1,212 @@
+"""Load balancing tests: graph construction, the METIS-like multilevel
+partitioner, Morton-curve splitting, and strategy quality comparison."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balance import (
+    balance_forest,
+    build_block_graph,
+    curve_split,
+    evaluate_balance,
+    exchange_volume_cells,
+    morton_key,
+    morton_order,
+    partition_graph,
+)
+from repro.blocks import SetupBlockForest
+from repro.errors import LoadBalanceError
+from repro.geometry import AABB, CapsuleTreeGeometry, CoronaryTree
+
+
+@pytest.fixture(scope="module")
+def coronary_forest():
+    geom = CapsuleTreeGeometry(CoronaryTree.generate(generations=5, seed=2))
+    box = geom.aabb()
+    return SetupBlockForest.create(
+        box, (6, 6, 6), (16, 16, 16), geometry=geom
+    )
+
+
+class TestGraph:
+    def test_exchange_volumes(self):
+        cells = (8, 4, 2)
+        assert exchange_volume_cells(cells, (1, 0, 0)) == 8   # x-face: 4*2
+        assert exchange_volume_cells(cells, (0, 1, 0)) == 16  # y-face: 8*2
+        assert exchange_volume_cells(cells, (1, 1, 0)) == 2   # edge: z-line
+        assert exchange_volume_cells(cells, (1, 1, 1)) == 1   # corner
+
+    def test_dense_grid_graph(self):
+        f = SetupBlockForest.create(AABB((0, 0, 0), (3, 3, 3)), (3, 3, 3), (4, 4, 4))
+        g = build_block_graph(f)
+        assert g.number_of_nodes() == 27
+        # Center block connects to all 26 others minus non-adjacent: in a
+        # 3^3 grid the center is adjacent to all 26.
+        center = [n for n, d in g.nodes(data=True) if d["grid_index"] == (1, 1, 1)][0]
+        assert g.degree(center) == 26
+
+    def test_face_edges_heavier_than_corner(self):
+        f = SetupBlockForest.create(AABB((0, 0, 0), (2, 2, 2)), (2, 2, 2), (8, 8, 8))
+        g = build_block_graph(f)
+        idx = {d["grid_index"]: n for n, d in g.nodes(data=True)}
+        face = g[idx[(0, 0, 0)]][idx[(1, 0, 0)]]["weight"]
+        corner = g[idx[(0, 0, 0)]][idx[(1, 1, 1)]]["weight"]
+        assert face > corner
+
+
+class TestMetisLike:
+    def test_balanced_grid_partition(self):
+        g = nx.grid_graph(dim=(6, 6, 6))
+        for n in g.nodes:
+            g.nodes[n]["weight"] = 1
+        res = partition_graph(g, 8, seed=1)
+        assert res.imbalance <= 1.12
+        # A sensible cut of a 6^3 grid into 8 parts is far below cutting
+        # every edge.
+        assert res.edge_cut < 0.5 * g.number_of_edges()
+        assert set(res.parts) == set(range(8))
+
+    def test_k1_trivial(self):
+        g = nx.path_graph(5)
+        res = partition_graph(g, 1)
+        assert res.edge_cut == 0.0
+        assert np.all(res.parts == 0)
+
+    def test_two_cliques_split_cleanly(self):
+        # Two dense cliques joined by one light edge: the partitioner must
+        # cut the bridge.
+        g = nx.Graph()
+        for base in (0, 10):
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    g.add_edge(base + i, base + j, weight=10.0)
+        g.add_edge(0, 10, weight=1.0)
+        for n in g.nodes:
+            g.nodes[n]["weight"] = 1
+        res = partition_graph(g, 2, seed=0)
+        assert res.edge_cut == 1.0
+        left = {res.parts[i] for i in range(5)}
+        right = {res.parts[5 + i] for i in range(5)}
+        assert len(left) == 1 and len(right) == 1 and left != right
+
+    def test_errors(self):
+        g = nx.path_graph(3)
+        with pytest.raises(LoadBalanceError):
+            partition_graph(g, 0)
+        with pytest.raises(LoadBalanceError):
+            partition_graph(g, 5)
+        with pytest.raises(LoadBalanceError):
+            partition_graph(nx.Graph(), 1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), k=st.integers(2, 6))
+    def test_random_graphs_respect_balance(self, seed, k):
+        rng = np.random.default_rng(seed)
+        g = nx.gnp_random_graph(40, 0.15, seed=seed)
+        for n in g.nodes:
+            g.nodes[n]["weight"] = int(rng.integers(1, 5))
+        for u, v in g.edges:
+            g[u][v]["weight"] = float(rng.integers(1, 10))
+        res = partition_graph(g, k, epsilon=0.2, seed=seed)
+        # Greedy growing may overfill slightly on tiny graphs, but the
+        # imbalance must remain bounded.
+        assert res.imbalance < 2.0
+        assert len(res.parts) == 40
+
+
+class TestMorton:
+    def test_key_interleaves(self):
+        assert morton_key(0, 0, 0) == 0
+        assert morton_key(1, 0, 0) == 1
+        assert morton_key(0, 1, 0) == 2
+        assert morton_key(0, 0, 1) == 4
+        assert morton_key(1, 1, 1) == 7
+
+    def test_order_locality(self):
+        # Morton order visits each 2x2x2 octant contiguously.
+        idx = [(i, j, k) for i in range(2) for j in range(2) for k in range(2)]
+        order = morton_order(idx)
+        keys = [morton_key(*idx[i]) for i in order]
+        assert keys == sorted(keys)
+
+    def test_negative_rejected(self):
+        with pytest.raises(LoadBalanceError):
+            morton_key(-1, 0, 0)
+
+    def test_curve_split_balances(self):
+        w = [1.0] * 100
+        parts = curve_split(w, 4)
+        counts = np.bincount(parts)
+        assert np.all(counts == 25)
+
+    def test_curve_split_weighted(self):
+        # One heavy item dominates; it gets its own part region.
+        w = [1, 1, 1, 100, 1, 1, 1]
+        parts = curve_split(w, 2)
+        assert parts == sorted(parts)  # contiguous split
+        loads = [sum(wi for wi, p in zip(w, parts) if p == q) for q in (0, 1)]
+        assert max(loads) / (sum(w) / 2) < 2.0
+
+    def test_every_part_nonempty(self):
+        parts = curve_split([100, 1, 1, 1], 4)
+        assert set(parts) == {0, 1, 2, 3}
+
+    def test_split_errors(self):
+        with pytest.raises(LoadBalanceError):
+            curve_split([1.0], 2)
+        with pytest.raises(LoadBalanceError):
+            curve_split([1.0, -1.0], 2)
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", ["round_robin", "random", "morton", "metis"])
+    def test_all_strategies_assign_everything(self, coronary_forest, strategy):
+        import copy
+
+        f = copy.deepcopy(coronary_forest)
+        balance_forest(f, 8, strategy=strategy)
+        assert all(0 <= b.owner < 8 for b in f.blocks)
+        q = evaluate_balance(f)
+        assert q.n_processes == 8
+
+    def test_metis_beats_round_robin_cut(self, coronary_forest):
+        import copy
+
+        f_rr = copy.deepcopy(coronary_forest)
+        balance_forest(f_rr, 8, strategy="round_robin")
+        f_m = copy.deepcopy(coronary_forest)
+        balance_forest(f_m, 8, strategy="metis")
+        q_rr = evaluate_balance(f_rr)
+        q_m = evaluate_balance(f_m)
+        assert q_m.cut_fraction < q_rr.cut_fraction
+
+    def test_morton_beats_round_robin_cut(self, coronary_forest):
+        import copy
+
+        f_rr = copy.deepcopy(coronary_forest)
+        balance_forest(f_rr, 8, strategy="round_robin")
+        f_z = copy.deepcopy(coronary_forest)
+        balance_forest(f_z, 8, strategy="morton")
+        assert (
+            evaluate_balance(f_z).cut_fraction
+            < evaluate_balance(f_rr).cut_fraction
+        )
+
+    def test_unknown_strategy_rejected(self, coronary_forest):
+        import copy
+
+        with pytest.raises(LoadBalanceError):
+            balance_forest(copy.deepcopy(coronary_forest), 4, strategy="voodoo")
+
+    def test_more_blocks_than_ranks_required(self, coronary_forest):
+        import copy
+
+        with pytest.raises(LoadBalanceError):
+            balance_forest(
+                copy.deepcopy(coronary_forest),
+                coronary_forest.n_blocks + 1,
+                strategy="round_robin",
+            )

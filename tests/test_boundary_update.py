@@ -1,0 +1,134 @@
+"""Tests for the time-varying boundary API (pulsatile inflow) and for
+file-format corruption robustness."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import flagdefs as fl
+from repro.balance import balance_forest
+from repro.blocks import SetupBlockForest, load_forest, save_forest
+from repro.comm import DistributedSimulation
+from repro.core import Simulation
+from repro.errors import ConfigurationError, FileFormatError, PartitioningError
+from repro.geometry import AABB
+from repro.lbm import NoSlip, PressureABB, TRT, UBB
+from repro.scenarios import enclose_walls
+
+
+def lid_sim():
+    sim = Simulation(cells=(8, 8, 8), collision=TRT.from_tau(0.8))
+    sim.flags.fill(fl.FLUID)
+    enclose_walls(sim.flags)
+    sim.flags.data[:, :, -1] = fl.VELOCITY_BC
+    sim.add_boundary(NoSlip())
+    lid = UBB(velocity=(0.05, 0.0, 0.0))
+    sim.add_boundary(lid)
+    sim.finalize()
+    return sim, lid
+
+
+class TestBoundaryUpdate:
+    def test_flow_follows_updated_lid(self):
+        sim, lid = lid_sim()
+        sim.run(100)
+        u1 = np.nanmean(sim.velocity()[:, :, -1, 0])
+        sim.update_boundary(lid, UBB(velocity=(-0.05, 0.0, 0.0)))
+        sim.run(200)
+        u2 = np.nanmean(sim.velocity()[:, :, -1, 0])
+        assert u1 > 0 > u2
+
+    def test_flag_must_match(self):
+        sim, lid = lid_sim()
+        with pytest.raises(ConfigurationError):
+            sim.update_boundary(lid, PressureABB(rho_w=1.0))
+
+    def test_unknown_condition_rejected(self):
+        sim, _ = lid_sim()
+        with pytest.raises(ConfigurationError):
+            sim.update_boundary(UBB(velocity=(9.0, 0.0, 0.0)), UBB(velocity=(1, 0, 0)))
+
+    def test_before_finalize_rejected(self):
+        sim = Simulation(cells=(4, 4, 4), collision=TRT.from_tau(0.8))
+        with pytest.raises(ConfigurationError):
+            sim.update_boundary(NoSlip(), NoSlip())
+
+    def test_distributed_update(self):
+        forest = SetupBlockForest.create(
+            AABB((0, 0, 0), (2, 1, 1)), (2, 1, 1), (6, 6, 6)
+        )
+        balance_forest(forest, 2, strategy="round_robin")
+
+        def lid(blk, ff):
+            d = ff.data
+            i = blk.grid_index[0]
+            if i == 0:
+                d[0] = fl.NO_SLIP
+            if i == 1:
+                d[-1] = fl.NO_SLIP
+            d[:, 0], d[:, -1] = fl.NO_SLIP, fl.NO_SLIP
+            d[:, :, 0] = fl.NO_SLIP
+            d[:, :, -1] = fl.VELOCITY_BC
+
+        lid_bc = UBB(velocity=(0.05, 0.0, 0.0))
+        sim = DistributedSimulation(
+            forest, TRT.from_tau(0.8), flag_setter=lid,
+            boundaries=[NoSlip(), lid_bc],
+        )
+        sim.run(60)
+        u1 = np.nanmean(sim.gather_velocity()[..., 0])
+        sim.update_boundary(lid_bc, UBB(velocity=(-0.05, 0.0, 0.0)))
+        sim.run(150)
+        u2 = np.nanmean(sim.gather_velocity()[..., 0])
+        assert u1 > 0 > u2
+
+    def test_distributed_unknown_rejected(self):
+        forest = SetupBlockForest.create(
+            AABB((0, 0, 0), (2, 1, 1)), (2, 1, 1), (4, 4, 4)
+        )
+        balance_forest(forest, 2, strategy="round_robin")
+        sim = DistributedSimulation(forest, TRT.from_tau(0.8))
+        with pytest.raises(ConfigurationError):
+            sim.update_boundary(UBB(velocity=(1, 0, 0)), UBB(velocity=(2, 0, 0)))
+
+
+class TestFileFormatFuzz:
+    @staticmethod
+    def _forest_bytes():
+        f = SetupBlockForest.create(AABB((0, 0, 0), (4, 2, 2)), (4, 2, 2), (8, 8, 8))
+        f.assign([i % 4 for i in range(f.n_blocks)], 4)
+        buf = io.BytesIO()
+        save_forest(f, buf)
+        return buf.getvalue()
+
+    @settings(max_examples=40, deadline=None)
+    @given(cut=st.integers(5, 200))
+    def test_truncation_never_crashes(self, cut):
+        data = self._forest_bytes()
+        truncated = data[: max(0, len(data) - cut)]
+        with pytest.raises(FileFormatError):
+            load_forest(truncated)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pos=st.integers(0, 300), val=st.integers(0, 255))
+    def test_bitflip_rejected_or_consistent(self, pos, val):
+        """A corrupted file either fails cleanly (FileFormatError /
+        PartitioningError from id validation) or parses into *some*
+        forest — it must never raise an unexpected exception type."""
+        data = bytearray(self._forest_bytes())
+        pos = pos % len(data)
+        data[pos] = val
+        try:
+            forest = load_forest(bytes(data))
+        except (FileFormatError, PartitioningError, MemoryError, OverflowError):
+            return
+        except Exception as exc:  # noqa: BLE001
+            # Geometry errors from corrupt domain boxes are acceptable too.
+            from repro.errors import ReproError, GeometryError
+
+            assert isinstance(exc, (ReproError, GeometryError)), exc
+            return
+        assert forest.n_blocks >= 0

@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "SuperMUC" in out and "JUQUEEN" in out
+        assert "87.8" in out
+
+    def test_cavity(self, capsys, tmp_path):
+        vtk = str(tmp_path / "cav.vtk")
+        assert main(["cavity", "--size", "8", "--steps", "10", "--vtk", vtk]) == 0
+        out = capsys.readouterr().out
+        assert "MLUPS" in out
+        assert open(vtk).readline().startswith("# vtk")
+
+    def test_coronary(self, capsys):
+        assert main([
+            "coronary", "--generations", "3", "--blocks", "24",
+            "--ranks", "3", "--steps", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "MFLUPS" in out
+
+    def test_figures_fast(self, capsys):
+        assert main(["figures", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Figure 5" in out
+        assert "1.6 GHz" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,68 @@
+"""Unit tests for collision parameter models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.lbm.collision import SRT, TRT, tau_to_viscosity, viscosity_to_tau
+
+
+class TestSRT:
+    def test_omega(self):
+        assert np.isclose(SRT(tau=2.0).omega, 0.5)
+
+    def test_viscosity_roundtrip(self):
+        srt = SRT.from_viscosity(0.1)
+        assert np.isclose(srt.viscosity, 0.1)
+
+    @pytest.mark.parametrize("tau", [0.5, 0.2, 0.0, -1.0])
+    def test_unstable_tau_rejected(self, tau):
+        with pytest.raises(ConfigurationError):
+            SRT(tau=tau)
+
+    def test_negative_viscosity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SRT.from_viscosity(-0.1)
+
+
+class TestTRT:
+    def test_srt_equivalent_rates(self):
+        trt = TRT.srt_equivalent(tau=0.8)
+        assert np.isclose(trt.lambda_e, -1.25)
+        assert np.isclose(trt.lambda_o, -1.25)
+
+    def test_magic_parameter(self):
+        trt = TRT.from_tau(0.9, magic=3.0 / 16.0)
+        assert np.isclose(trt.magic, 3.0 / 16.0)
+
+    def test_viscosity_matches_srt(self):
+        assert np.isclose(TRT.from_tau(0.75).viscosity, SRT(0.75).viscosity)
+
+    @pytest.mark.parametrize("lam", [0.0, -2.0, 1.0, -5.0])
+    def test_rates_out_of_range_rejected(self, lam):
+        with pytest.raises(ConfigurationError):
+            TRT(lambda_e=lam, lambda_o=-1.0)
+        with pytest.raises(ConfigurationError):
+            TRT(lambda_e=-1.0, lambda_o=lam)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tau=st.floats(0.51, 5.0), magic=st.floats(0.05, 0.5))
+    def test_from_tau_always_valid(self, tau, magic):
+        trt = TRT.from_tau(tau, magic)
+        assert -2.0 < trt.lambda_e < 0.0
+        assert -2.0 < trt.lambda_o < 0.0
+        assert np.isclose(trt.magic, magic)
+        assert np.isclose(trt.viscosity, tau_to_viscosity(tau))
+
+
+class TestConversions:
+    @settings(max_examples=30, deadline=None)
+    @given(nu=st.floats(1e-4, 10.0))
+    def test_roundtrip(self, nu):
+        assert np.isclose(tau_to_viscosity(viscosity_to_tau(nu)), nu)
+
+    def test_known_value(self):
+        # nu = cs2 (tau - 1/2); tau=1 -> nu = 1/6
+        assert np.isclose(tau_to_viscosity(1.0), 1.0 / 6.0)

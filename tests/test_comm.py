@@ -1,0 +1,340 @@
+"""Tests for the virtual MPI, ghost-layer exchange, and the distributed
+simulation (including exact equivalence with single-block runs)."""
+
+import numpy as np
+import pytest
+
+from repro import flagdefs as fl
+from repro.balance import balance_forest
+from repro.blocks import SetupBlockForest
+from repro.comm import (
+    Comm,
+    CopySpec,
+    DistributedSimulation,
+    GhostExchange,
+    VirtualMPI,
+    ghost_slices,
+    send_slices,
+)
+from repro.core import PdfField, Simulation
+from repro.errors import CommunicationError, ConfigurationError
+from repro.geometry import AABB, CapsuleTreeGeometry, CoronaryTree
+from repro.lbm import D3Q19, NoSlip, PressureABB, TRT, UBB
+
+
+class TestVirtualMPI:
+    def test_point_to_point(self):
+        world = VirtualMPI(2, timeout=10)
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send({"x": 42}, dest=1, tag=7)
+                return None
+            return comm.recv(source=0, tag=7)
+
+        results = world.run(program)
+        assert results[1] == {"x": 42}
+
+    def test_tag_matching(self):
+        world = VirtualMPI(2, timeout=10)
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert world.run(program)[1] == ("a", "b")
+
+    def test_bcast(self):
+        world = VirtualMPI(4, timeout=10)
+
+        def program(comm):
+            data = [1, 2, 3] if comm.rank == 2 else None
+            return comm.bcast(data, root=2)
+
+        assert world.run(program) == [[1, 2, 3]] * 4
+
+    def test_gather_scatter(self):
+        world = VirtualMPI(3, timeout=10)
+
+        def program(comm):
+            gathered = comm.gather(comm.rank**2, root=0)
+            items = [10, 20, 30] if comm.rank == 0 else None
+            mine = comm.scatter(items, root=0)
+            return (gathered, mine)
+
+        results = world.run(program)
+        assert results[0][0] == [0, 1, 4]
+        assert results[1][0] is None
+        assert [r[1] for r in results] == [10, 20, 30]
+
+    def test_allreduce_and_allgather(self):
+        world = VirtualMPI(4, timeout=10)
+
+        def program(comm):
+            s = comm.allreduce(comm.rank + 1, op=lambda a, b: a + b)
+            g = comm.allgather(comm.rank)
+            return (s, g)
+
+        for s, g in world.run(program):
+            assert s == 10
+            assert g == [0, 1, 2, 3]
+
+    def test_alltoall(self):
+        world = VirtualMPI(3, timeout=10)
+
+        def program(comm):
+            return comm.alltoall([f"{comm.rank}->{d}" for d in range(3)])
+
+        results = world.run(program)
+        assert results[1] == ["0->1", "1->1", "2->1"]
+
+    def test_numpy_payloads(self):
+        world = VirtualMPI(2, timeout=10)
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(10.0), dest=1)
+                return None
+            return comm.recv(source=0)
+
+        out = world.run(program)
+        assert np.allclose(out[1], np.arange(10.0))
+
+    def test_rank_error_propagates(self):
+        world = VirtualMPI(2, timeout=5)
+
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(CommunicationError, match="rank 1"):
+            world.run(program)
+
+    def test_bad_dest_rejected(self):
+        world = VirtualMPI(2, timeout=5)
+
+        def program(comm):
+            comm.send(1, dest=5)
+
+        with pytest.raises(CommunicationError):
+            world.run(program)
+
+    def test_reusable(self):
+        world = VirtualMPI(2, timeout=10)
+
+        def program(comm):
+            return comm.allreduce(1, op=lambda a, b: a + b)
+
+        assert world.run(program) == [2, 2]
+        assert world.run(program) == [2, 2]
+
+
+class TestGhostSlices:
+    def test_face(self):
+        assert send_slices((1, 0, 0)) == (slice(-2, -1), slice(1, -1), slice(1, -1))
+        assert ghost_slices((1, 0, 0)) == (
+            slice(-1, None), slice(1, -1), slice(1, -1),
+        )
+
+    def test_corner_region_is_single_cell(self):
+        arr = np.zeros((6, 6, 6))
+        assert arr[send_slices((1, 1, 1))].shape == (1, 1, 1)
+        assert arr[ghost_slices((-1, -1, -1))].shape == (1, 1, 1)
+
+    def test_exchange_moves_face_data(self):
+        fa = PdfField(D3Q19, (4, 4, 4))
+        fb = PdfField(D3Q19, (4, 4, 4))
+        fa.src[...] = 1.0
+        fb.src[...] = 2.0
+        ex = GhostExchange(
+            {"a": fa, "b": fb},
+            [
+                CopySpec("a", "b", (1, 0, 0), remote=True),
+                CopySpec("b", "a", (-1, 0, 0), remote=True),
+            ],
+        )
+        ex.exchange()
+        # a's +x ghost face now holds b's first interior layer.
+        assert np.all(fa.src[:, -1, 1:-1, 1:-1] == 2.0)
+        assert np.all(fb.src[:, 0, 1:-1, 1:-1] == 1.0)
+        assert ex.stats.remote_messages == 2
+        assert ex.stats.remote_bytes == 2 * 19 * 4 * 4 * 8
+
+    def test_exchange_follows_swap(self):
+        fa = PdfField(D3Q19, (3, 3, 3))
+        fb = PdfField(D3Q19, (3, 3, 3))
+        ex = GhostExchange(
+            {"a": fa, "b": fb}, [CopySpec("a", "b", (1, 0, 0), remote=False)]
+        )
+        fb.dst[...] = 9.0
+        fa.swap()
+        fb.swap()  # now fb.src is the 9.0 grid
+        ex.exchange()
+        assert np.all(fa.src[:, -1, 1:-1, 1:-1] == 9.0)
+
+    def test_mismatched_shapes_rejected(self):
+        fa = PdfField(D3Q19, (4, 4, 4))
+        fb = PdfField(D3Q19, (4, 4, 5))
+        with pytest.raises(CommunicationError):
+            GhostExchange({"a": fa, "b": fb}, [])
+
+    def test_unknown_key_rejected(self):
+        fa = PdfField(D3Q19, (4, 4, 4))
+        with pytest.raises(CommunicationError):
+            GhostExchange({"a": fa}, [CopySpec("a", "zz", (1, 0, 0), False)])
+
+
+def _lid_setter(root_grid):
+    gx, gy, gz = root_grid
+
+    def setter(blk, ff):
+        d = ff.data
+        i, j, k = blk.grid_index
+        if i == 0:
+            d[0] = fl.NO_SLIP
+        if i == gx - 1:
+            d[-1] = fl.NO_SLIP
+        if j == 0:
+            d[:, 0] = fl.NO_SLIP
+        if j == gy - 1:
+            d[:, -1] = fl.NO_SLIP
+        if k == 0:
+            d[:, :, 0] = fl.NO_SLIP
+        if k == gz - 1:
+            d[:, :, -1] = fl.VELOCITY_BC
+
+    return setter
+
+
+class TestDistributedSimulation:
+    def test_matches_single_block_bitwise(self):
+        col = TRT.from_tau(0.8)
+        bcs = [NoSlip(), UBB(velocity=(0.05, 0.0, 0.0))]
+        ref = Simulation(cells=(8, 8, 8), collision=col)
+        ref.flags.fill(fl.FLUID)
+        d = ref.flags.data
+        d[0], d[-1] = fl.NO_SLIP, fl.NO_SLIP
+        d[:, 0], d[:, -1] = fl.NO_SLIP, fl.NO_SLIP
+        d[:, :, 0] = fl.NO_SLIP
+        d[:, :, -1] = fl.VELOCITY_BC
+        for bc in bcs:
+            ref.add_boundary(bc)
+        ref.finalize()
+        ref.run(40)
+
+        forest = SetupBlockForest.create(
+            AABB((0, 0, 0), (2, 2, 2)), (2, 2, 2), (4, 4, 4)
+        )
+        balance_forest(forest, 4, strategy="round_robin")
+        dsim = DistributedSimulation(
+            forest, col, flag_setter=_lid_setter((2, 2, 2)), boundaries=bcs
+        )
+        dsim.run(40)
+        assert np.nanmax(np.abs(ref.density() - dsim.gather_density())) == 0.0
+        assert np.nanmax(np.abs(ref.velocity() - dsim.gather_velocity())) == 0.0
+
+    def test_split_direction_invariance(self):
+        # The same domain split 4x1x1 and 1x1x4 must give identical fields.
+        col = TRT.from_tau(0.9)
+
+        def build(grid, cells):
+            forest = SetupBlockForest.create(
+                AABB((0, 0, 0), (1, 1, 1)), grid, cells
+            )
+            balance_forest(forest, 2, strategy="round_robin")
+            sim = DistributedSimulation(
+                forest,
+                col,
+                flag_setter=_lid_setter(grid),
+                boundaries=[NoSlip(), UBB(velocity=(0.04, 0.0, 0.0))],
+            )
+            sim.run(25)
+            return sim.gather_density(), sim.gather_velocity()
+
+        rho_a, u_a = build((4, 1, 1), (2, 8, 8))
+        rho_b, u_b = build((1, 1, 4), (8, 8, 2))
+        assert np.nanmax(np.abs(rho_a - rho_b)) < 1e-14
+        assert np.nanmax(np.abs(u_a - u_b)) < 1e-14
+
+    def test_periodic_multiblock_conserves_momentum(self):
+        # Fully periodic domain with an initial velocity: mass and momentum
+        # must be exactly conserved across block boundaries.
+        forest = SetupBlockForest.create(
+            AABB((0, 0, 0), (2, 1, 1)), (2, 1, 1), (6, 6, 6)
+        )
+        balance_forest(forest, 2, strategy="round_robin")
+        sim = DistributedSimulation(
+            forest,
+            TRT.from_tau(0.7),
+            boundaries=[],
+            periodic=(True, True, True),
+        )
+        # Give every block a uniform momentum.
+        for field in sim.fields.values():
+            field.set_equilibrium(rho=1.0, u=(0.03, 0.01, -0.02))
+        m0 = sim.total_mass()
+        sim.run(30)
+        assert np.isclose(sim.total_mass(), m0, rtol=1e-12)
+        u = sim.gather_velocity()
+        assert np.allclose(u[..., 0], 0.03, atol=1e-12)
+        assert np.allclose(u[..., 2], -0.02, atol=1e-12)
+
+    def test_coronary_pipeline_runs(self):
+        # Full pipeline: geometry -> partition -> balance -> voxelize ->
+        # sparse kernels + colored BCs -> time steps.
+        tree = CoronaryTree.generate(generations=3, seed=4)
+        geom = CapsuleTreeGeometry(tree)
+        forest = SetupBlockForest.create(
+            geom.aabb(), (3, 3, 3), (10, 10, 10), geometry=geom
+        )
+        balance_forest(forest, 4, strategy="metis")
+        sim = DistributedSimulation(
+            forest,
+            TRT.from_tau(0.8),
+            geometry=geom,
+            boundaries=[
+                NoSlip(),
+                UBB(velocity=(0.0, 0.0, 0.01)),
+                PressureABB(rho_w=1.0),
+            ],
+        )
+        assert any(n == "interval" for n in sim.kernel_names.values())
+        sim.run(10)
+        assert sim.max_velocity() < 0.3  # stable
+        assert sim.total_fluid_cells() > 0
+        assert sim.mflups() > 0
+        assert 0 <= sim.comm_fraction() <= 1
+
+    def test_unbalanced_forest_rejected(self):
+        forest = SetupBlockForest.create(
+            AABB((0, 0, 0), (2, 1, 1)), (2, 1, 1), (4, 4, 4)
+        )
+        with pytest.raises(ConfigurationError):
+            DistributedSimulation(forest, TRT.from_tau(0.8))
+
+    def test_comm_stats_accumulate(self):
+        forest = SetupBlockForest.create(
+            AABB((0, 0, 0), (2, 1, 1)), (2, 1, 1), (4, 4, 4)
+        )
+        balance_forest(forest, 2, strategy="round_robin")
+        sim = DistributedSimulation(forest, TRT.from_tau(0.8))
+        sim.run(3)
+        # 2 blocks, 1 face pair, both directions, 3 steps.
+        assert sim.comm_stats.remote_messages == 6
+        assert sim.comm_stats.local_messages == 0
+
+    def test_local_vs_remote_accounting(self):
+        forest = SetupBlockForest.create(
+            AABB((0, 0, 0), (2, 1, 1)), (2, 1, 1), (4, 4, 4)
+        )
+        balance_forest(forest, 1, strategy="round_robin")  # same rank
+        sim = DistributedSimulation(forest, TRT.from_tau(0.8))
+        sim.run(1)
+        assert sim.comm_stats.remote_messages == 0
+        assert sim.comm_stats.local_messages == 2

@@ -1,0 +1,81 @@
+"""Unit + property tests for the equilibrium distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lbm.equilibrium import equilibrium, equilibrium_cell, split_equilibrium
+from repro.lbm.lattice import D2Q9, D3Q19, D3Q27
+
+
+class TestEquilibriumMoments:
+    def test_rest_state(self):
+        feq = equilibrium_cell(D3Q19, 1.0, np.zeros(3))
+        assert np.allclose(feq, D3Q19.weights)
+
+    def test_density_moment(self):
+        feq = equilibrium_cell(D3Q19, 1.3, [0.02, -0.01, 0.05])
+        assert np.isclose(feq.sum(), 1.3)
+
+    def test_momentum_moment(self):
+        rho, u = 0.9, np.array([0.03, 0.01, -0.02])
+        feq = equilibrium_cell(D3Q19, rho, u)
+        j = (feq[:, None] * D3Q19.velocities).sum(axis=0)
+        assert np.allclose(j, rho * u)
+
+    def test_field_shape(self):
+        rho = np.ones((3, 4, 5))
+        u = np.zeros((3, 4, 5, 3))
+        feq = equilibrium(D3Q19, rho, u)
+        assert feq.shape == (19, 3, 4, 5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            equilibrium(D3Q19, np.ones((3, 3)), np.zeros((3, 3, 2)))
+
+    def test_2d_model(self):
+        feq = equilibrium_cell(D2Q9, 1.0, [0.05, 0.0])
+        assert np.isclose(feq.sum(), 1.0)
+        j = (feq[:, None] * D2Q9.velocities).sum(axis=0)
+        assert np.allclose(j, [0.05, 0.0])
+
+
+velocity_components = st.floats(-0.08, 0.08, allow_nan=False)
+
+
+class TestEquilibriumProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rho=st.floats(0.5, 2.0),
+        ux=velocity_components,
+        uy=velocity_components,
+        uz=velocity_components,
+    )
+    def test_moments_exact_for_any_state(self, rho, ux, uy, uz):
+        u = np.array([ux, uy, uz])
+        feq = equilibrium_cell(D3Q19, rho, u)
+        assert np.isclose(feq.sum(), rho, rtol=1e-12)
+        j = (feq[:, None] * D3Q19.velocities).sum(axis=0)
+        assert np.allclose(j, rho * u, atol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rho=st.floats(0.5, 2.0), ux=velocity_components)
+    def test_positive_at_moderate_velocity(self, rho, ux):
+        feq = equilibrium_cell(D3Q19, rho, [ux, 0, 0])
+        assert np.all(feq > 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ux=velocity_components, uy=velocity_components, uz=velocity_components)
+    def test_split_reconstructs(self, ux, uy, uz):
+        feq = equilibrium_cell(D3Q19, 1.0, [ux, uy, uz])
+        plus, minus = split_equilibrium(D3Q19, feq)
+        assert np.allclose(plus + minus, feq, atol=1e-14)
+        # plus is symmetric under direction inversion, minus antisymmetric
+        inv = D3Q19.inverse
+        assert np.allclose(plus[inv], plus, atol=1e-14)
+        assert np.allclose(minus[inv], -minus, atol=1e-14)
+
+    def test_d3q27_consistency(self):
+        feq = equilibrium_cell(D3Q27, 1.1, [0.02, 0.03, -0.01])
+        assert np.isclose(feq.sum(), 1.1)

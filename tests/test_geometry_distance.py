@@ -1,0 +1,221 @@
+"""Tests for point-triangle distance and signed distance (Jones +
+Bærentzen–Aanæs pseudonormals) against analytic references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    TriangleMesh,
+    box_mesh,
+    brute_force_closest,
+    capped_tube,
+    closest_point_on_triangles,
+    icosphere,
+    signed_distance,
+)
+from repro.geometry.distance import (
+    FEATURE_EDGE_AB,
+    FEATURE_FACE,
+    FEATURE_VERTEX_A,
+)
+
+
+def single_triangle():
+    # Right triangle in the z=0 plane: A=(0,0,0), B=(1,0,0), C=(0,1,0).
+    a = np.array([[0.0, 0.0, 0.0]])
+    b = np.array([[1.0, 0.0, 0.0]])
+    c = np.array([[0.0, 1.0, 0.0]])
+    return a, b, c
+
+
+class TestClosestPointRegions:
+    def test_face_region(self):
+        a, b, c = single_triangle()
+        p = np.array([[0.2, 0.2, 0.7]])
+        cp, feat = closest_point_on_triangles(p, a, b, c)
+        assert feat[0] == FEATURE_FACE
+        assert np.allclose(cp[0], [0.2, 0.2, 0.0])
+
+    def test_vertex_region(self):
+        a, b, c = single_triangle()
+        p = np.array([[-1.0, -1.0, 0.5]])
+        cp, feat = closest_point_on_triangles(p, a, b, c)
+        assert feat[0] == FEATURE_VERTEX_A
+        assert np.allclose(cp[0], [0.0, 0.0, 0.0])
+
+    def test_edge_region(self):
+        a, b, c = single_triangle()
+        p = np.array([[0.5, -1.0, 0.0]])
+        cp, feat = closest_point_on_triangles(p, a, b, c)
+        assert feat[0] == FEATURE_EDGE_AB
+        assert np.allclose(cp[0], [0.5, 0.0, 0.0])
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        px=st.floats(-2, 2), py=st.floats(-2, 2), pz=st.floats(-2, 2)
+    )
+    def test_closest_point_is_global_minimum(self, px, py, pz):
+        # The reported closest point must beat dense barycentric sampling.
+        a, b, c = single_triangle()
+        p = np.array([[px, py, pz]])
+        cp, _ = closest_point_on_triangles(p, a, b, c)
+        d_best = np.linalg.norm(p[0] - cp[0])
+        u = np.linspace(0, 1, 21)
+        uu, vv = np.meshgrid(u, u)
+        keep = uu + vv <= 1.0
+        samples = (
+            (1 - uu - vv)[keep, None] * a[0]
+            + uu[keep, None] * b[0]
+            + vv[keep, None] * c[0]
+        )
+        d_samples = np.linalg.norm(samples - p[0], axis=1).min()
+        assert d_best <= d_samples + 1e-9
+
+
+class TestSignedDistanceAnalytic:
+    def test_sphere(self):
+        m = icosphere((0, 0, 0), 1.0, subdivisions=3)
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(300, 3)) * 0.8
+        phi = signed_distance(m, pts)
+        exact = np.linalg.norm(pts, axis=1) - 1.0
+        # Error bounded by the tessellation chord height.
+        assert np.abs(phi - exact).max() < 6e-3
+
+    def test_box_inside_outside(self):
+        m = box_mesh((0, 0, 0), (2, 2, 2))
+        pts = np.array(
+            [[1, 1, 1], [1, 1, 0.25], [3, 1, 1], [1, 1, -0.5], [-1, -1, -1]]
+        )
+        phi = signed_distance(m, pts)
+        assert np.allclose(phi, [-1.0, -0.25, 1.0, 0.5, np.sqrt(3)])
+
+    def test_box_corner_and_edge_signs(self):
+        # Corner/edge regions are where naive face normals fail and
+        # pseudonormals are required.
+        m = box_mesh((0, 0, 0), (1, 1, 1))
+        outside_corner = np.array([[1.2, 1.2, 1.2]])
+        outside_edge = np.array([[1.3, 1.3, 0.5]])
+        phi = signed_distance(m, np.vstack([outside_corner, outside_edge]))
+        assert np.all(phi > 0)
+        assert np.isclose(phi[0], np.sqrt(3 * 0.2**2), atol=1e-12)
+        assert np.isclose(phi[1], np.sqrt(2 * 0.3**2), atol=1e-12)
+
+    def test_tube(self):
+        m = capped_tube((0, 0, 0), (0, 0, 4), 1.0, segments=48)
+        pts = np.array([[0, 0, 2], [0.5, 0, 2], [1.5, 0, 2], [0, 0, 5]])
+        phi = signed_distance(m, pts)
+        assert phi[0] < -0.95  # on the axis, ~1 away from the wall
+        assert -0.55 < phi[1] < -0.4
+        assert 0.45 < phi[2] < 0.55
+        assert np.isclose(phi[3], 1.0, atol=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        r=st.floats(0.05, 1.9),
+        theta=st.floats(0, np.pi),
+        phi_ang=st.floats(0, 2 * np.pi),
+    )
+    def test_sphere_sign_always_correct(self, r, theta, phi_ang):
+        m = icosphere((0, 0, 0), 1.0, subdivisions=2)
+        p = r * np.array(
+            [
+                np.sin(theta) * np.cos(phi_ang),
+                np.sin(theta) * np.sin(phi_ang),
+                np.cos(theta),
+            ]
+        )
+        phi = signed_distance(m, p[None, :])[0]
+        # Allow a tessellation band around |p| = 1 where either sign is fine.
+        if r < 0.93:
+            assert phi < 0
+        elif r > 1.01:
+            assert phi > 0
+
+
+class TestBruteForce:
+    def test_subset_restricts_search(self):
+        m = box_mesh((0, 0, 0), (1, 1, 1))
+        p = np.array([[0.5, 0.5, 2.0]])
+        # Only the bottom two triangles (z=0 face).
+        d, tri, _, _ = brute_force_closest(p, m, tri_subset=np.array([0, 1]))
+        assert np.isclose(d[0], 2.0)
+        assert tri[0] in (0, 1)
+
+    def test_empty_subset_rejected(self):
+        m = box_mesh((0, 0, 0), (1, 1, 1))
+        with pytest.raises(GeometryError):
+            brute_force_closest(np.zeros((1, 3)), m, tri_subset=np.array([], dtype=int))
+
+    def test_chunking_consistent(self):
+        m = icosphere((0, 0, 0), 1.0, subdivisions=2)
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(50, 3))
+        d1, t1, _, _ = brute_force_closest(pts, m, chunk=10_000_000)
+        d2, t2, _, _ = brute_force_closest(pts, m, chunk=500)
+        assert np.allclose(d1, d2)
+        assert np.all(t1 == t2)
+
+
+class TestMeshProperties:
+    def test_watertight_primitives(self):
+        assert box_mesh((0, 0, 0), (1, 1, 1)).is_watertight()
+        assert icosphere((0, 0, 0), 1.0, 1).is_watertight()
+        assert capped_tube((0, 0, 0), (0, 0, 1), 0.5).is_watertight()
+
+    def test_open_mesh_not_watertight(self):
+        v = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]])
+        t = np.array([[0, 1, 2]])
+        assert not TriangleMesh(v, t).is_watertight()
+
+    def test_sphere_area_converges(self):
+        area = icosphere((0, 0, 0), 1.0, 3).total_area()
+        assert abs(area - 4 * np.pi) / (4 * np.pi) < 0.01
+
+    def test_normals_point_outward(self):
+        m = icosphere((0, 0, 0), 2.0, 2)
+        n = m.face_normals()
+        c = m.centroids()
+        assert np.all(np.einsum("ij,ij->i", n, c) > 0)
+
+    def test_degenerate_triangle_rejected(self):
+        v = np.array([[0, 0, 0], [1, 0, 0], [2, 0, 0]])
+        t = np.array([[0, 1, 2]])
+        with pytest.raises(GeometryError):
+            TriangleMesh(v, t).face_normals()
+
+    def test_bad_indices_rejected(self):
+        v = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]])
+        with pytest.raises(GeometryError):
+            TriangleMesh(v, np.array([[0, 1, 7]]))
+
+    def test_merged(self):
+        a = box_mesh((0, 0, 0), (1, 1, 1))
+        b = box_mesh((3, 3, 3), (4, 4, 4))
+        m = TriangleMesh.merged(a, b)
+        assert m.n_triangles == 24
+        assert m.is_watertight()
+
+    def test_transforms(self):
+        m = box_mesh((0, 0, 0), (1, 1, 1))
+        t = m.translated((1, 2, 3)).scaled(2.0)
+        box = t.aabb()
+        assert np.allclose(box.lo, [2, 4, 6])
+        assert np.allclose(box.hi, [4, 6, 8])
+
+    def test_vertex_pseudonormals_on_box_corner(self):
+        # Box corner pseudonormal is the diagonal direction.
+        m = box_mesh((0, 0, 0), (1, 1, 1))
+        vn = m.vertex_pseudonormals()
+        corner = np.where(np.all(m.vertices == [1, 1, 1], axis=1))[0][0]
+        expected = np.ones(3) / np.sqrt(3)
+        assert np.allclose(vn[corner], expected, atol=1e-12)
+
+    def test_triangle_colors_majority(self):
+        v = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]])
+        t = np.array([[0, 1, 2]])
+        m = TriangleMesh(v, t, vertex_colors=np.array([2, 2, 0]))
+        assert m.triangle_colors()[0] == 2

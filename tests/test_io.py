@@ -1,0 +1,184 @@
+"""Tests for VTK output, OBJ mesh I/O, and checkpoint/restore."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import flagdefs as fl
+from repro.balance import balance_forest
+from repro.blocks import SetupBlockForest
+from repro.comm import DistributedSimulation
+from repro.core import Simulation
+from repro.errors import GeometryError, ReproError
+from repro.geometry import AABB, capped_tube, icosphere
+from repro.io import (
+    load_checkpoint,
+    read_obj,
+    save_checkpoint,
+    write_obj,
+    write_simulation_vtk,
+    write_vtk,
+)
+from repro.lbm import NoSlip, TRT, UBB
+
+
+class TestObj:
+    def test_roundtrip_with_colors(self):
+        m = capped_tube(
+            (0, 0, 0), (0, 0, 3), 1.0, segments=8,
+            start_cap_color=1, end_cap_color=2,
+        )
+        buf = io.StringIO()
+        write_obj(m, buf)
+        buf.seek(0)
+        m2 = read_obj(buf)
+        assert np.allclose(m.vertices, m2.vertices)
+        assert np.array_equal(m.triangles, m2.triangles)
+        assert np.array_equal(m.vertex_colors, m2.vertex_colors)
+
+    def test_roundtrip_on_disk(self, tmp_path):
+        m = icosphere((1, 2, 3), 0.5, 1)
+        p = str(tmp_path / "sphere.obj")
+        write_obj(m, p)
+        m2 = read_obj(p)
+        assert m2.n_triangles == m.n_triangles
+        assert m2.is_watertight()
+
+    def test_quad_faces_triangulated(self):
+        obj = "v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n"
+        m = read_obj(io.StringIO(obj))
+        assert m.n_triangles == 2
+
+    def test_slash_references(self):
+        obj = "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1/1 2/2/2 3//3\n"
+        m = read_obj(io.StringIO(obj))
+        assert m.n_triangles == 1
+
+    def test_negative_indices(self):
+        obj = "v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n"
+        m = read_obj(io.StringIO(obj))
+        assert np.array_equal(m.triangles[0], [0, 1, 2])
+
+    def test_errors(self):
+        with pytest.raises(GeometryError):
+            read_obj(io.StringIO("v 0 0 0\n"))  # no faces
+        with pytest.raises(GeometryError):
+            read_obj(io.StringIO("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 9\n"))
+        with pytest.raises(GeometryError):
+            read_obj(io.StringIO("v 0 0\nf 1 1 1\n"))
+
+
+class TestVtk:
+    def test_header_and_counts(self, tmp_path):
+        p = str(tmp_path / "out.vtk")
+        write_vtk(p, {"rho": np.ones((3, 4, 5))})
+        lines = open(p).read().splitlines()
+        assert lines[0].startswith("# vtk DataFile")
+        assert "DIMENSIONS 3 4 5" in lines
+        assert "POINT_DATA 60" in lines
+        data = [v for line in lines[9:] for v in line.split()]
+        # header contains "SCALARS rho..." + "LOOKUP_TABLE"; count floats
+        floats = [v for v in data if v not in ("default",)]
+        assert len([v for v in floats if _is_float(v)]) == 60
+
+    def test_vector_field(self, tmp_path):
+        p = str(tmp_path / "vec.vtk")
+        u = np.zeros((2, 2, 2, 3))
+        u[..., 1] = 7.0
+        write_vtk(p, {"velocity": u})
+        content = open(p).read()
+        assert "VECTORS velocity double" in content
+        assert "0 7 0" in content
+
+    def test_nan_replaced(self, tmp_path):
+        p = str(tmp_path / "nan.vtk")
+        arr = np.full((2, 2, 2), np.nan)
+        write_vtk(p, {"rho": arr})
+        assert "nan" not in open(p).read()
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_vtk(
+                str(tmp_path / "x.vtk"),
+                {"a": np.ones((2, 2, 2)), "b": np.ones((3, 3, 3))},
+            )
+        with pytest.raises(ReproError):
+            write_vtk(str(tmp_path / "y.vtk"), {})
+
+    def test_simulation_export(self, tmp_path):
+        sim = Simulation(cells=(4, 4, 4), collision=TRT.from_tau(0.8))
+        sim.flags.fill(fl.FLUID)
+        sim.finalize()
+        sim.run(2)
+        p = str(tmp_path / "sim.vtk")
+        write_simulation_vtk(p, sim)
+        content = open(p).read()
+        assert "density" in content and "velocity" in content and "fluid" in content
+
+
+def _is_float(s):
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+def _cavity(steps=0):
+    forest = SetupBlockForest.create(AABB((0, 0, 0), (2, 1, 1)), (2, 1, 1), (4, 4, 4))
+    balance_forest(forest, 2, strategy="round_robin")
+
+    def lid(blk, ff):
+        d = ff.data
+        i = blk.grid_index[0]
+        if i == 0:
+            d[0] = fl.NO_SLIP
+        if i == 1:
+            d[-1] = fl.NO_SLIP
+        d[:, 0], d[:, -1] = fl.NO_SLIP, fl.NO_SLIP
+        d[:, :, 0] = fl.NO_SLIP
+        d[:, :, -1] = fl.VELOCITY_BC
+
+    sim = DistributedSimulation(
+        forest,
+        TRT.from_tau(0.8),
+        flag_setter=lid,
+        boundaries=[NoSlip(), UBB(velocity=(0.05, 0.0, 0.0))],
+    )
+    if steps:
+        sim.run(steps)
+    return sim
+
+
+class TestCheckpoint:
+    def test_resume_is_bit_exact(self, tmp_path):
+        p = str(tmp_path / "ckpt.npz")
+        # Reference: 30 uninterrupted steps.
+        ref = _cavity(30)
+        # Checkpointed: 12 steps, save, restore into a new sim, 18 more.
+        first = _cavity(12)
+        save_checkpoint(first, p)
+        resumed = _cavity(0)
+        steps = load_checkpoint(resumed, p)
+        assert steps == 12
+        resumed.run(18)
+        assert np.nanmax(np.abs(ref.gather_density() - resumed.gather_density())) == 0.0
+        assert np.nanmax(np.abs(ref.gather_velocity() - resumed.gather_velocity())) == 0.0
+
+    def test_wrong_forest_rejected(self, tmp_path):
+        p = str(tmp_path / "ckpt.npz")
+        save_checkpoint(_cavity(1), p)
+        other = SetupBlockForest.create(
+            AABB((0, 0, 0), (3, 1, 1)), (3, 1, 1), (4, 4, 4)
+        )
+        balance_forest(other, 3, strategy="round_robin")
+        sim = DistributedSimulation(other, TRT.from_tau(0.8))
+        with pytest.raises(ReproError):
+            load_checkpoint(sim, p)
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        p = str(tmp_path / "junk.npz")
+        np.savez(p, a=np.zeros(3))
+        with pytest.raises(ReproError):
+            load_checkpoint(_cavity(0), p)

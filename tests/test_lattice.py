@@ -1,0 +1,103 @@
+"""Unit tests for lattice model generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lbm.lattice import (
+    D2Q9,
+    D3Q15,
+    D3Q19,
+    D3Q27,
+    LATTICE_MODELS,
+    generate_lattice,
+)
+
+
+@pytest.mark.parametrize("model", [D3Q19, D3Q27, D3Q15, D2Q9])
+class TestModelInvariants:
+    def test_weights_sum_to_one(self, model):
+        assert np.isclose(model.weights.sum(), 1.0)
+
+    def test_rest_velocity_first(self, model):
+        assert np.all(model.velocities[0] == 0)
+
+    def test_inverse_is_involution(self, model):
+        assert np.all(model.inverse[model.inverse] == np.arange(model.q))
+
+    def test_inverse_matches_negated_velocity(self, model):
+        for a in range(model.q):
+            b = model.inverse[a]
+            assert np.all(model.velocities[a] == -model.velocities[b])
+
+    def test_first_moment_vanishes(self, model):
+        m = (model.weights[:, None] * model.velocities).sum(axis=0)
+        assert np.allclose(m, 0.0)
+
+    def test_second_moment_isotropic(self, model):
+        m = np.einsum("a,ai,aj->ij", model.weights, model.velocities, model.velocities)
+        assert np.allclose(m, model.cs2 * np.eye(model.dim))
+
+    def test_velocities_unique(self, model):
+        seen = {tuple(v) for v in model.velocities}
+        assert len(seen) == model.q
+
+    def test_validate_passes(self, model):
+        model.validate()
+
+    def test_immutable_arrays(self, model):
+        with pytest.raises(ValueError):
+            model.velocities[0, 0] = 5
+
+
+class TestSpecificModels:
+    def test_sizes(self):
+        assert D3Q19.q == 19 and D3Q19.dim == 3
+        assert D3Q27.q == 27 and D3Q27.dim == 3
+        assert D3Q15.q == 15 and D3Q15.dim == 3
+        assert D2Q9.q == 9 and D2Q9.dim == 2
+
+    def test_d3q19_weights(self):
+        # 1 rest (1/3), 6 axis (1/18), 12 diagonal (1/36)
+        w = D3Q19.weights
+        assert np.isclose(w[0], 1.0 / 3.0)
+        counts = {}
+        for a in range(19):
+            s2 = int((D3Q19.velocities[a] ** 2).sum())
+            counts[s2] = counts.get(s2, 0) + 1
+        assert counts == {0: 1, 1: 6, 2: 12}
+
+    def test_direction_index(self):
+        a = D3Q19.direction_index(1, 0, 0)
+        assert np.all(D3Q19.velocities[a] == (1, 0, 0))
+        with pytest.raises(ConfigurationError):
+            D3Q19.direction_index(2, 0, 0)
+
+    def test_symmetric_pairs_cover_all_nonrest(self):
+        pairs = D3Q19.symmetric_pairs()
+        assert pairs.shape == (9, 2)
+        flat = set(pairs.ravel().tolist())
+        assert flat == set(range(1, 19))
+
+    def test_registry(self):
+        assert set(LATTICE_MODELS) == {"D3Q19", "D3Q27", "D3Q15", "D2Q9"}
+
+
+class TestGeneration:
+    def test_missing_rest_velocity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_lattice("bad", 3, 1, {1: 1.0 / 6.0})
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_lattice("bad", 4, 1, {0: 1.0})
+
+    def test_inconsistent_weights_rejected(self):
+        # Weights that do not sum to 1 must fail validation.
+        with pytest.raises(ConfigurationError):
+            generate_lattice("bad", 3, 1, {0: 0.5, 1: 0.1, 2: 0.1})
+
+    def test_deterministic_ordering(self):
+        m1 = generate_lattice("a", 3, 1, {0: 1 / 3, 1: 1 / 18, 2: 1 / 36})
+        m2 = generate_lattice("b", 3, 1, {0: 1 / 3, 1: 1 / 18, 2: 1 / 36})
+        assert np.all(m1.velocities == m2.velocities)

@@ -1,0 +1,94 @@
+"""Higher-order lattice moment and geometry-pipeline coverage tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    AABB,
+    MeshGeometry,
+    MeshOctree,
+    box_mesh,
+    icosphere,
+)
+from repro.lbm import D2Q9, D3Q15, D3Q19, D3Q27
+
+
+def fourth_moment(model):
+    w = model.weights
+    e = model.velocities.astype(float)
+    return np.einsum("a,ai,aj,ak,al->ijkl", w, e, e, e, e)
+
+
+def isotropic_fourth(cs2, dim):
+    d = np.eye(dim)
+    return cs2**2 * (
+        np.einsum("ij,kl->ijkl", d, d)
+        + np.einsum("ik,jl->ijkl", d, d)
+        + np.einsum("il,jk->ijkl", d, d)
+    )
+
+
+class TestLatticeMoments:
+    @pytest.mark.parametrize("model", [D3Q19, D3Q27, D3Q15, D2Q9],
+                             ids=lambda m: m.name)
+    def test_third_moment_vanishes(self, model):
+        w = model.weights
+        e = model.velocities.astype(float)
+        third = np.einsum("a,ai,aj,ak->ijk", w, e, e, e)
+        assert np.allclose(third, 0.0, atol=1e-14)
+
+    @pytest.mark.parametrize("model", [D3Q19, D3Q27, D2Q9],
+                             ids=lambda m: m.name)
+    def test_fourth_moment_isotropy(self, model):
+        # The Navier-Stokes-level isotropy condition all standard
+        # hydrodynamic lattices satisfy.
+        got = fourth_moment(model)
+        want = isotropic_fourth(model.cs2, model.dim)
+        assert np.allclose(got, want, atol=1e-14)
+
+    def test_d3q15_fourth_moment_also_isotropic(self):
+        got = fourth_moment(D3Q15)
+        want = isotropic_fourth(D3Q15.cs2, 3)
+        assert np.allclose(got, want, atol=1e-14)
+
+
+class TestGeometryPipelineExtras:
+    def test_mesh_geometry_translation_consistent(self):
+        m = icosphere((0, 0, 0), 1.0, 2)
+        g0 = MeshGeometry(m)
+        g1 = MeshGeometry(m.translated((5.0, -2.0, 1.0)))
+        p = np.array([[0.3, 0.2, -0.1]])
+        assert g1.phi(p + [5.0, -2.0, 1.0])[0] == pytest.approx(
+            g0.phi(p)[0], abs=1e-12
+        )
+
+    def test_mesh_geometry_scaling_consistent(self):
+        m = icosphere((0, 0, 0), 1.0, 2)
+        g0 = MeshGeometry(m)
+        g2 = MeshGeometry(m.scaled(2.0))
+        p = np.array([[0.4, 0.1, 0.2]])
+        assert g2.phi(2.0 * p)[0] == pytest.approx(2.0 * g0.phi(p)[0], abs=1e-12)
+
+    def test_octree_fraction_shrinks_with_leaf_size(self):
+        m = icosphere((0, 0, 0), 1.0, 3)
+        coarse = MeshOctree(m, max_leaf_triangles=256)
+        fine = MeshOctree(m, max_leaf_triangles=8)
+        probe = AABB.cube((0.0, 0.0, 1.0), 0.05)
+        assert fine.evaluated_fraction(probe) <= coarse.evaluated_fraction(probe)
+
+    def test_box_geometry_contains_batch(self):
+        g = MeshGeometry(box_mesh((0, 0, 0), (2, 2, 2)))
+        pts = np.array([[1, 1, 1], [3, 1, 1], [1.9, 1.9, 1.9], [-0.1, 1, 1]])
+        inside = g.contains(pts)
+        assert inside.tolist() == [True, False, True, False]
+
+    def test_boundary_color_batch(self):
+        from repro.geometry import capped_tube
+
+        t = capped_tube(
+            (0, 0, 0), (0, 0, 4), 1.0, segments=24,
+            start_cap_color=1, end_cap_color=2,
+        )
+        g = MeshGeometry(t)
+        pts = np.array([[0, 0, -0.3], [0, 0, 4.3], [1.2, 0, 2.0]])
+        assert g.boundary_color(pts).tolist() == [1, 2, 0]

@@ -1,0 +1,21 @@
+"""Tests for the architecture-comparison harness."""
+
+from repro.harness import machine_comparison
+
+
+class TestMachineComparison:
+    def test_narrative_quantified(self):
+        r = machine_comparison()
+        s, j = r.series["SuperMUC"], r.series["JUQUEEN"]
+        # SuperMUC wins per core; JUQUEEN per watt and at machine scale
+        # (the paper's §4 narrative).
+        assert s["mlups_per_core"] > 1.5 * j["mlups_per_core"]
+        assert j["mlups_per_watt"] > 2.0 * s["mlups_per_watt"]
+        assert j["machine_glups"] > s["machine_glups"]
+        # The torus keeps JUQUEEN's MPI share below SuperMUC's at scale.
+        assert j["comm_fraction"] < s["comm_fraction"]
+
+    def test_report_table(self):
+        r = machine_comparison()
+        assert "SuperMUC" in r.report and "JUQUEEN" in r.report
+        assert "per watt" in r.report

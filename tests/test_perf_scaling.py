@@ -1,0 +1,250 @@
+"""Tests of the scaling simulator: the paper's qualitative and (where
+published) quantitative results for Figures 6-8, plus consistency of the
+vessel block model with the exact partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import CapsuleTreeGeometry, CoronaryTree
+from repro.blocks import SetupBlockForest
+from repro.errors import ConfigurationError
+from repro.perf import (
+    JUQUEEN,
+    NodeConfig,
+    SUPERMUC,
+    VesselBlockModel,
+    strong_scaling_coronary,
+    weak_scaling_coronary,
+    weak_scaling_dense,
+)
+
+
+@pytest.fixture(scope="module")
+def paper_tree():
+    # Calibrated to the paper's coronary dataset: ~2.1 M fluid cells at
+    # dx = 0.1 mm, ~0.3 % of the bounding box.
+    return CoronaryTree.generate(generations=9, root_radius=1.9e-3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def block_model(paper_tree):
+    return VesselBlockModel(paper_tree, samples=60_000)
+
+
+class TestPaperTreeCalibration:
+    def test_fluid_cells_at_paper_resolutions(self, paper_tree):
+        v = paper_tree.volume_estimate()
+        # §4.3: 2.1 M fluid cells at 0.1 mm, 16.9 M at 0.05 mm.
+        assert v / (1e-4) ** 3 == pytest.approx(2.1e6, rel=0.25)
+        assert v / (5e-5) ** 3 == pytest.approx(16.9e6, rel=0.25)
+
+    def test_volume_fraction_near_paper(self, paper_tree):
+        # §4.3: "only covers about 0.3 % of the volume of its ... box".
+        assert 0.001 < paper_tree.volume_fraction() < 0.01
+
+
+class TestVesselBlockModel:
+    def test_matches_exact_partitioner(self):
+        # The sampled occupancy must agree with the exact per-cell
+        # partitioner.  Use a shallow tree whose thinnest vessels remain
+        # thick relative to the classification sampling, so both methods
+        # resolve the same set of blocks.
+        tree = CoronaryTree.generate(generations=4, root_radius=2e-3, seed=3)
+        geom = CapsuleTreeGeometry(tree)
+        model = VesselBlockModel(tree, samples=120_000)
+        box = geom.aabb()
+        grid = 10
+        h = float(max(box.extent)) / grid
+        n_grid = tuple(int(np.ceil(e / h)) for e in box.extent)
+        forest = SetupBlockForest.create(
+            type(box)(tuple(box.lo), tuple(box.lo + h * np.asarray(n_grid))),
+            n_grid,
+            (16, 16, 16),
+            geometry=geom,
+            workload_samples=16,
+        )
+        n_sampled = model.occupied_blocks(h)
+        assert n_sampled == pytest.approx(forest.n_blocks, rel=0.15)
+
+    def test_more_blocks_for_smaller_edges(self, block_model):
+        diag = block_model.tree.aabb().diagonal
+        n1 = block_model.occupied_blocks(diag / 8)
+        n2 = block_model.occupied_blocks(diag / 32)
+        assert n2 > n1
+
+    def test_fluid_fraction_rises_with_resolution(self, block_model):
+        diag = block_model.tree.aabb().diagonal
+        f_coarse = block_model.fluid_fraction(diag / 8)
+        f_fine = block_model.fluid_fraction(diag / 2000)
+        assert f_fine > f_coarse
+
+    def test_find_block_edge_respects_target(self, block_model):
+        h = block_model.find_block_edge(500)
+        assert block_model.occupied_blocks(h) <= 500
+        # And reasonably close to the target.
+        assert block_model.occupied_blocks(h) > 150
+
+    def test_invalid_inputs(self, block_model):
+        with pytest.raises(ConfigurationError):
+            block_model.occupied_blocks(0.0)
+        with pytest.raises(ConfigurationError):
+            block_model.find_block_edge(0)
+
+
+class TestDenseWeakScaling:
+    def test_supermuc_reaches_paper_throughput(self):
+        # §4.2: "We achieve up to 837 x 10^3 MLUPS" at 2^17 cores.
+        pts = weak_scaling_dense(
+            SUPERMUC, NodeConfig(4, 4), 3_430_000, [2**17]
+        )
+        assert pts[0].total_mlups == pytest.approx(837e3, rel=0.15)
+
+    def test_juqueen_reaches_paper_throughput(self):
+        # §4.2: "1.8 million threads manage to update 1.93 trillion cells
+        # per second" on all 458,752 cores.
+        pts = weak_scaling_dense(
+            JUQUEEN, NodeConfig(16, 4), 1_728_000, [458752]
+        )
+        assert pts[0].total_mlups == pytest.approx(1.93e6, rel=0.15)
+
+    def test_juqueen_92_percent_efficiency(self):
+        pts = weak_scaling_dense(
+            JUQUEEN, NodeConfig(16, 4), 1_728_000, [32, 458752]
+        )
+        eff = pts[1].mlups_per_core / pts[0].mlups_per_core
+        assert eff == pytest.approx(0.92, abs=0.04)
+
+    def test_supermuc_efficiency_drops_across_islands(self):
+        # One island (512 nodes = 8192 cores) vs 16 islands.
+        pts = weak_scaling_dense(
+            SUPERMUC, NodeConfig(16, 1), 3_430_000, [2**13, 2**17]
+        )
+        assert pts[1].mlups_per_core < pts[0].mlups_per_core
+        assert pts[1].comm_fraction > pts[0].comm_fraction
+        # MPI time share grows markedly (paper Figure 6a dotted lines).
+        assert pts[1].comm_fraction > 1.5 * pts[0].comm_fraction
+
+    def test_juqueen_comm_fraction_stable(self):
+        # Figure 6b: "the percentage of time spent for MPI communication
+        # is quite stable when scaling up to the entire machine".
+        pts = weak_scaling_dense(
+            JUQUEEN, NodeConfig(64, 1), 1_728_000, [2**10, 458752]
+        )
+        assert pts[1].comm_fraction < 2.5 * pts[0].comm_fraction
+        assert pts[1].comm_fraction < 0.2
+
+    def test_all_configs_similar(self):
+        # Figure 6: the three parallelization variants perform similarly.
+        rates = []
+        for cfg in (NodeConfig(16, 1), NodeConfig(4, 4), NodeConfig(2, 8)):
+            pts = weak_scaling_dense(SUPERMUC, cfg, 3_430_000, [2**10])
+            rates.append(pts[0].mlups_per_core)
+        assert max(rates) / min(rates) < 1.1
+
+    def test_partial_node_rejected_above_one_node(self):
+        with pytest.raises(ConfigurationError):
+            weak_scaling_dense(SUPERMUC, NodeConfig(16, 1), 1e6, [24])
+
+
+class TestCoronaryWeakScaling:
+    def test_mflups_rises_with_cores(self, block_model):
+        # Figure 7: "results show an increase in MFLUPS/core with an
+        # increasing number of cores" because the fluid fraction rises.
+        pts = weak_scaling_coronary(
+            JUQUEEN, NodeConfig(16, 4), block_model, 80,
+            [2**9, 2**13, 2**17], blocks_per_process=4,
+        )
+        assert pts[-1].mflups_per_core > pts[0].mflups_per_core
+        assert pts[-1].fluid_fraction > pts[0].fluid_fraction
+
+    def test_resolution_shrinks_with_cores(self, block_model):
+        pts = weak_scaling_coronary(
+            JUQUEEN, NodeConfig(16, 4), block_model, 80,
+            [2**9, 2**15], blocks_per_process=4,
+        )
+        assert pts[1].dx < pts[0].dx
+
+    def test_full_juqueen_resolution_order(self, block_model):
+        # §4.3: dx down to 1.276 µm on the whole machine.
+        pts = weak_scaling_coronary(
+            JUQUEEN, NodeConfig(16, 4), block_model, 80,
+            [458752], blocks_per_process=4,
+        )
+        assert pts[0].dx == pytest.approx(1.276e-6, rel=0.5)
+        # Total fluid cells within a factor ~3 of the paper's 1.03e12.
+        assert 2e11 < pts[0].total_fluid_cells < 3e12
+
+
+class TestCoronaryStrongScaling:
+    def test_supermuc_baseline_matches_paper(self, block_model):
+        # §4.3: 11.4 time steps/s on a single node at 0.1 mm.
+        pts = strong_scaling_coronary(
+            SUPERMUC, NodeConfig(4, 4), block_model, 1e-4, [16]
+        )
+        assert pts[0].timesteps_per_s == pytest.approx(11.4, rel=0.35)
+
+    def test_timesteps_rise_with_cores(self, block_model):
+        pts = strong_scaling_coronary(
+            SUPERMUC, NodeConfig(4, 4), block_model, 1e-4,
+            [16, 256, 2048, 32768],
+        )
+        ts = [p.timesteps_per_s for p in pts]
+        assert ts == sorted(ts)
+        assert ts[-1] / ts[0] > 50  # orders-of-magnitude speedup
+
+    def test_optimal_blocks_per_core_declines(self, block_model):
+        # §4.3: "The optimal number of blocks per core is 32 at 16 cores
+        # declining to 1 at 4,096 cores".
+        pts = strong_scaling_coronary(
+            SUPERMUC, NodeConfig(4, 4), block_model, 1e-4, [64, 32768]
+        )
+        assert pts[0].blocks_per_core > 8
+        assert pts[1].blocks_per_core <= 2
+
+    def test_block_sizes_shrink(self, block_model):
+        # §4.3: "Block sizes range from 34^3 at 16 cores down to 9^3".
+        pts = strong_scaling_coronary(
+            SUPERMUC, NodeConfig(4, 4), block_model, 1e-4, [64, 32768]
+        )
+        assert 20 <= pts[0].block_edge_cells <= 50
+        assert 4 <= pts[1].block_edge_cells <= 14
+
+    def test_juqueen_baseline_matches_paper(self, block_model):
+        # §4.3: 0.51 MFLUPS/core at one nodeboard (512 cores), 0.1 mm.
+        pts = strong_scaling_coronary(
+            JUQUEEN, NodeConfig(16, 4), block_model, 1e-4, [512]
+        )
+        assert pts[0].mflups_per_core == pytest.approx(0.51, rel=0.35)
+
+    def test_juqueen_efficiency_declines_continuously(self, block_model):
+        pts = strong_scaling_coronary(
+            JUQUEEN, NodeConfig(16, 4), block_model, 1e-4,
+            [512, 2048, 8192, 32768],
+        )
+        rates = [p.mflups_per_core for p in pts]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_supermuc_outperforms_juqueen_per_core_at_small_blocks(
+        self, block_model
+    ):
+        # §4.3: SuperMUC's faster cores cope better with framework
+        # overhead at small block sizes.
+        s = strong_scaling_coronary(
+            SUPERMUC, NodeConfig(4, 4), block_model, 1e-4, [32768]
+        )[0]
+        j = strong_scaling_coronary(
+            JUQUEEN, NodeConfig(16, 4), block_model, 1e-4, [32768]
+        )[0]
+        assert s.mflups_per_core > j.mflups_per_core
+
+    def test_finer_resolution_higher_baseline_efficiency(self, block_model):
+        # §4.3: at 0.05 mm the single-node baseline is *relatively*
+        # better (2.25 ts/s vs 11.4 at 8x the work).
+        p1 = strong_scaling_coronary(
+            SUPERMUC, NodeConfig(4, 4), block_model, 1e-4, [64]
+        )[0]
+        p05 = strong_scaling_coronary(
+            SUPERMUC, NodeConfig(4, 4), block_model, 5e-5, [64]
+        )[0]
+        assert p05.mflups_per_core > p1.mflups_per_core
+        assert p05.timesteps_per_s < p1.timesteps_per_s

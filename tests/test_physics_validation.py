@@ -1,0 +1,223 @@
+"""Physics validation against analytic solutions: Poiseuille slit flow,
+rectangular duct flow, body forcing, and the derived observables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import flagdefs as fl
+from repro.core import Simulation
+from repro.core.observables import (
+    enstrophy,
+    kinetic_energy,
+    mass_flux,
+    mean_velocity,
+    pressure,
+    reynolds_number,
+    vorticity,
+)
+from repro.errors import ConfigurationError
+from repro.lbm import (
+    ConstantBodyForce,
+    D3Q19,
+    NoSlip,
+    TRT,
+    couette_profile,
+    duct_flow_profile,
+    poiseuille_slit_max_velocity,
+    poiseuille_slit_profile,
+)
+
+
+def slit_channel(nz=10, tau=0.9, force=1e-5, cells_xy=4):
+    sim = Simulation(
+        cells=(cells_xy, cells_xy, nz),
+        collision=TRT.from_tau(tau),
+        body_force=(force, 0.0, 0.0),
+        periodic=(True, True, False),
+    )
+    sim.flags.fill(fl.FLUID)
+    sim.flags.data[:, :, 0] = fl.NO_SLIP
+    sim.flags.data[:, :, -1] = fl.NO_SLIP
+    sim.add_boundary(NoSlip())
+    sim.finalize()
+    return sim
+
+
+class TestPoiseuille:
+    def test_profile_matches_analytic(self):
+        nz, tau, F = 10, 0.9, 1e-5
+        nu = (tau - 0.5) / 3.0
+        sim = slit_channel(nz, tau, F)
+        sim.run(2500)
+        ux = sim.velocity()[2, 2, :, 0]
+        z = np.arange(nz) + 0.5
+        exact = poiseuille_slit_profile(z, float(nz), F, nu)
+        # TRT at Lambda = 3/16 with the half-force velocity correction
+        # reproduces the parabola to near machine precision.
+        assert np.max(np.abs(ux - exact)) < 1e-9 * exact.max() + 1e-12
+
+    def test_max_velocity_formula(self):
+        umax = poiseuille_slit_max_velocity(10.0, 1e-5, 0.1)
+        prof = poiseuille_slit_profile(np.array([5.0]), 10.0, 1e-5, 0.1)
+        assert np.isclose(prof[0], umax)
+
+    def test_velocity_scales_with_force(self):
+        sims = [slit_channel(force=f).run(1200) for f in (1e-5, 2e-5)]
+        u1 = np.nanmax(sims[0].velocity()[..., 0])
+        u2 = np.nanmax(sims[1].velocity()[..., 0])
+        assert u2 / u1 == pytest.approx(2.0, rel=0.02)
+
+    def test_viscosity_dependence(self):
+        # Doubling (tau - 1/2) halves the velocity at fixed force.
+        s1 = slit_channel(tau=0.75).run(2000)
+        s2 = slit_channel(tau=1.0).run(2000)
+        u1 = np.nanmax(s1.velocity()[..., 0])
+        u2 = np.nanmax(s2.velocity()[..., 0])
+        assert u1 / u2 == pytest.approx(2.0, rel=0.05)
+
+
+class TestDuctFlow:
+    def test_simulation_matches_series(self):
+        # Square duct driven by a body force, walls on y and z.
+        n, tau, F = 9, 0.8, 1e-5
+        nu = (tau - 0.5) / 3.0
+        sim = Simulation(
+            cells=(4, n, n),
+            collision=TRT.from_tau(tau),
+            body_force=(F, 0.0, 0.0),
+            periodic=(True, False, False),
+        )
+        sim.flags.fill(fl.FLUID)
+        d = sim.flags.data
+        d[:, 0], d[:, -1] = fl.NO_SLIP, fl.NO_SLIP
+        d[:, :, 0], d[:, :, -1] = fl.NO_SLIP, fl.NO_SLIP
+        sim.add_boundary(NoSlip())
+        sim.finalize()
+        sim.run(2500)
+        ux = sim.velocity()[2, :, :, 0]
+        y = (np.arange(n) + 0.5)[:, None]
+        z = (np.arange(n) + 0.5)[None, :]
+        exact = duct_flow_profile(y, z, float(n), float(n), F, nu)
+        assert np.max(np.abs(ux - exact)) < 0.05 * exact.max()
+
+    def test_series_reduces_to_slit_for_wide_duct(self):
+        # W >> H: the center profile approaches the slit parabola.
+        H, W = 10.0, 400.0
+        z = np.linspace(0.5, 9.5, 10)
+        duct = duct_flow_profile(np.full_like(z, W / 2), z, W, H, 1e-5, 0.1)
+        slit = poiseuille_slit_profile(z, H, 1e-5, 0.1)
+        assert np.allclose(duct, slit, rtol=2e-3)
+
+    def test_series_symmetry(self):
+        u = duct_flow_profile(
+            np.array([2.0, 8.0])[:, None],
+            np.array([3.0, 7.0])[None, :],
+            10.0, 10.0, 1e-5, 0.1,
+        )
+        assert np.isclose(u[0, 0], u[1, 1])
+        assert np.isclose(u[0, 1], u[1, 0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            duct_flow_profile(1.0, 1.0, 10.0, 10.0, 1e-5, -0.1)
+        with pytest.raises(ConfigurationError):
+            duct_flow_profile(1.0, 1.0, 10.0, 10.0, 1e-5, 0.1, terms=0)
+
+
+class TestBodyForce:
+    def test_momentum_input_exact(self):
+        f = ConstantBodyForce(D3Q19, (1e-3, -2e-3, 5e-4))
+        # Sum of increments: zero mass, exactly F momentum.
+        assert np.isclose(f.delta.sum(), 0.0, atol=1e-18)
+        j = (f.delta[:, None] * D3Q19.velocities).sum(axis=0)
+        assert np.allclose(j, [1e-3, -2e-3, 5e-4])
+
+    def test_apply_with_mask(self):
+        f = ConstantBodyForce(D3Q19, (1e-3, 0, 0))
+        src = np.zeros((19, 4, 4, 4))
+        mask = np.zeros((2, 2, 2), dtype=bool)
+        mask[0, 0, 0] = True
+        f.apply(src, mask)
+        a = D3Q19.direction_index(1, 0, 0)
+        assert src[a, 1, 1, 1] > 0
+        assert src[a, 2, 2, 2] == 0
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantBodyForce(D3Q19, (1e-3, 0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        fx=st.floats(-1e-2, 1e-2),
+        fy=st.floats(-1e-2, 1e-2),
+        fz=st.floats(-1e-2, 1e-2),
+    )
+    def test_momentum_property(self, fx, fy, fz):
+        f = ConstantBodyForce(D3Q19, (fx, fy, fz))
+        j = (f.delta[:, None] * D3Q19.velocities).sum(axis=0)
+        assert np.allclose(j, [fx, fy, fz], atol=1e-15)
+
+
+class TestObservables:
+    def test_pressure_eos(self):
+        assert np.isclose(pressure(np.array([1.3]))[0], (1.3 - 1.0) / 3.0)
+
+    def test_kinetic_energy(self):
+        rho = np.ones((2, 2, 2))
+        u = np.zeros((2, 2, 2, 3))
+        u[..., 0] = 0.1
+        assert np.isclose(kinetic_energy(rho, u), 8 * 0.5 * 0.01)
+
+    def test_kinetic_energy_ignores_nan(self):
+        rho = np.ones((2, 2, 2))
+        u = np.full((2, 2, 2, 3), np.nan)
+        u[0, 0, 0] = (0.1, 0.0, 0.0)
+        rho_m = np.where(np.isnan(u[..., 0]), np.nan, rho)
+        assert np.isclose(kinetic_energy(rho_m, u), 0.5 * 0.01)
+
+    def test_mean_velocity(self):
+        u = np.zeros((2, 2, 2, 3))
+        u[..., 1] = 2.0
+        assert np.allclose(mean_velocity(u), [0, 2, 0])
+
+    def test_vorticity_solid_rotation(self):
+        # u = Omega x r has curl = 2 Omega.
+        n = 12
+        x, y, z = np.meshgrid(*(np.arange(n) - n / 2,) * 3, indexing="ij")
+        omega = np.array([0.0, 0.0, 0.01])
+        u = np.stack([-omega[2] * y, omega[2] * x, np.zeros_like(x)], axis=-1)
+        w = vorticity(u)
+        inner = w[2:-2, 2:-2, 2:-2]
+        assert np.allclose(inner[..., 2], 2 * omega[2], atol=1e-12)
+        assert np.allclose(inner[..., 0], 0.0, atol=1e-12)
+
+    def test_enstrophy_positive_for_shear(self):
+        n = 8
+        z = np.arange(n)
+        u = np.zeros((n, n, n, 3))
+        u[..., 0] = z[None, None, :] * 0.01
+        assert enstrophy(u) > 0
+
+    def test_reynolds(self):
+        assert np.isclose(reynolds_number(0.1, 50, 0.05), 100.0)
+        with pytest.raises(ConfigurationError):
+            reynolds_number(1, 1, 0)
+
+    def test_mass_flux_uniform_flow(self):
+        rho = np.ones((4, 5, 6))
+        u = np.zeros((4, 5, 6, 3))
+        u[..., 0] = 0.2
+        assert np.isclose(mass_flux(rho, u, axis=0, position=2), 5 * 6 * 0.2)
+
+    def test_vorticity_needs_3d(self):
+        with pytest.raises(ConfigurationError):
+            vorticity(np.zeros((4, 4, 2)))
+
+
+class TestCouetteReference:
+    def test_profile_endpoints(self):
+        z = np.array([0.0, 5.0, 10.0])
+        u = couette_profile(z, 10.0, 0.1)
+        assert np.allclose(u, [0.0, 0.05, 0.1])

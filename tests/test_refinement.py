@@ -1,0 +1,123 @@
+"""Tests for forest-of-octrees block refinement (§2.2): supported by the
+data structures and the file format, rejected by the uniform runtime —
+mirroring the paper exactly."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks import (
+    SetupBlockForest,
+    distribute,
+    load_forest,
+    save_forest,
+    view_for_rank,
+)
+from repro.errors import PartitioningError
+from repro.geometry import AABB
+
+
+@pytest.fixture
+def forest():
+    return SetupBlockForest.create(AABB((0, 0, 0), (2, 2, 2)), (2, 2, 2), (8, 8, 8))
+
+
+class TestRefineBlock:
+    def test_replaces_block_with_eight_children(self, forest):
+        n0 = forest.n_blocks
+        children = forest.refine_block(forest.blocks[0])
+        assert len(children) == 8
+        assert forest.n_blocks == n0 + 7
+        assert not forest.is_uniform
+        assert forest.max_depth() == 1
+
+    def test_children_partition_parent_volume(self, forest):
+        parent = forest.blocks[0]
+        volume = parent.box.volume
+        children = forest.refine_block(parent)
+        assert np.isclose(sum(c.box.volume for c in children), volume)
+        union = children[0].box
+        for c in children[1:]:
+            union = union.union(c.box)
+        assert np.allclose(union.lo, parent.box.lo)
+        assert np.allclose(union.hi, parent.box.hi)
+
+    def test_recursive_refinement_ids(self, forest):
+        children = forest.refine_block(forest.blocks[0])
+        grand = forest.refine_block(children[3])
+        assert grand[5].id.branches == (3, 5)
+        assert grand[5].id.depth == 2
+        assert forest.max_depth() == 2
+
+    def test_octant_order_matches_blockid(self, forest):
+        # Octant i of the box must correspond to child id branch i.
+        parent = forest.blocks[0]
+        boxes = list(parent.box.octants())
+        children = forest.refine_block(parent)
+        for i, child in enumerate(children):
+            assert child.id.branches == (i,)
+            assert np.allclose(child.box.lo, boxes[i].lo)
+
+    def test_foreign_block_rejected(self, forest):
+        other = SetupBlockForest.create(
+            AABB((0, 0, 0), (1, 1, 1)), (1, 1, 1), (4, 4, 4)
+        )
+        with pytest.raises(PartitioningError):
+            forest.refine_block(other.blocks[0])
+
+    def test_geometric_neighbors_cross_levels(self, forest):
+        children = forest.refine_block(forest.blocks[0])
+        # A child touching the parent's +x face neighbors the coarse
+        # block at grid index (1, 0, 0).
+        child = children[4]  # octant ix=1
+        neighbor_ids = {b.id for b in forest.geometric_neighbors(child)}
+        coarse = forest.block_at((1, 0, 0))
+        assert coarse.id in neighbor_ids
+        # Siblings are neighbors too.
+        assert children[0].id in neighbor_ids
+
+
+class TestRefinedFileFormat:
+    def test_roundtrip_preserves_boxes(self, forest):
+        children = forest.refine_block(forest.blocks[0])
+        forest.refine_block(children[0])
+        forest.assign([i % 3 for i in range(forest.n_blocks)], 3)
+        buf = io.BytesIO()
+        save_forest(forest, buf)
+        loaded = load_forest(buf.getvalue())
+        assert loaded.n_blocks == forest.n_blocks
+        for a, b in zip(forest.blocks, loaded.blocks):
+            assert a.id == b.id
+            assert np.allclose(a.box.lo, b.box.lo)
+            assert np.allclose(a.box.hi, b.box.hi)
+
+    @settings(max_examples=10, deadline=None)
+    @given(path=st.lists(st.integers(0, 7), min_size=1, max_size=4))
+    def test_any_octant_path_roundtrips(self, path):
+        forest = SetupBlockForest.create(
+            AABB((0, 0, 0), (1, 1, 1)), (1, 1, 1), (4, 4, 4)
+        )
+        block = forest.blocks[0]
+        for octant in path:
+            block = forest.refine_block(block)[octant]
+        forest.assign([0] * forest.n_blocks, 1)
+        buf = io.BytesIO()
+        save_forest(forest, buf)
+        loaded = load_forest(buf.getvalue())
+        match = [b for b in loaded.blocks if b.id == block.id]
+        assert len(match) == 1
+        assert np.allclose(match[0].box.lo, block.box.lo)
+        assert np.allclose(match[0].box.hi, block.box.hi)
+
+
+class TestRuntimeRejectsRefined:
+    def test_distribute_requires_uniform(self, forest):
+        forest.refine_block(forest.blocks[0])
+        forest.assign([0] * forest.n_blocks, 1)
+        with pytest.raises(PartitioningError):
+            distribute(forest)
+        with pytest.raises(PartitioningError):
+            view_for_rank(forest, 0)

@@ -1,0 +1,66 @@
+"""Tests for the time-to-solution estimator against the paper's §1/§4.3
+production-planning numbers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import estimate_time_to_solution
+
+
+class TestPaperNumbers:
+    def test_juqueen_1p25_steps_per_second(self):
+        # §4.3: dx = 1.276 um, 1.03e12 fluid cells, full JUQUEEN at
+        # ~2.8 MFLUPS/core -> "1.25 time steps per second".
+        est = estimate_time_to_solution(
+            fluid_cells=1.03e12,
+            dx=1.276e-6,
+            physical_seconds=1.0,
+            mflups_per_core=2.8,
+            cores=458752,
+        )
+        assert est.timesteps_per_second == pytest.approx(1.25, abs=0.01)
+
+    def test_time_step_is_half_dx(self):
+        # §4.3: "the time step length computes to half the spatial
+        # resolution" (blood at 0.2 m/s, stable lattice velocity 0.1).
+        est = estimate_time_to_solution(
+            fluid_cells=1e9, dx=1.276e-6, physical_seconds=0.0,
+            mflups_per_core=1.0, cores=1,
+        )
+        assert est.dt == pytest.approx(1.276e-6 / 2.0 / 1.0, rel=1e-9)
+
+    def test_trillion_cell_memory_277_tib(self):
+        # §1: "storing the data for one trillion cells requires around
+        # 277 TiB" — 19 doubles x 2 grids.
+        est = estimate_time_to_solution(
+            fluid_cells=1e12, dx=1e-6, physical_seconds=0.0,
+            mflups_per_core=1.0, cores=1,
+        )
+        assert est.pdf_memory_bytes / 1024**4 == pytest.approx(277, abs=1)
+
+    def test_step_count_from_physical_time(self):
+        est = estimate_time_to_solution(
+            fluid_cells=1e6, dx=2e-6, physical_seconds=1e-3,
+            mflups_per_core=1.0, cores=16,
+        )
+        # dt = dx/2 = 1 us -> 1000 steps for 1 ms.
+        assert est.n_steps == 1000
+        assert est.wall_seconds == pytest.approx(
+            1000 / (16e6 / 1e6), rel=1e-12
+        )
+        assert est.core_hours == pytest.approx(
+            est.wall_seconds * 16 / 3600.0
+        )
+
+    def test_single_grid_memory_halves(self):
+        two = estimate_time_to_solution(1e9, 1e-6, 0.0, 1.0, 1)
+        one = estimate_time_to_solution(1e9, 1e-6, 0.0, 1.0, 1, two_grids=False)
+        assert one.pdf_memory_bytes == pytest.approx(two.pdf_memory_bytes / 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            estimate_time_to_solution(0, 1e-6, 1.0, 1.0, 1)
+        with pytest.raises(ConfigurationError):
+            estimate_time_to_solution(1e6, 1e-6, 1.0, -1.0, 1)
+        with pytest.raises(ConfigurationError):
+            estimate_time_to_solution(1e6, 1e-6, 1.0, 1.0, 0)

@@ -1,0 +1,156 @@
+"""Tests for the three sparse-block kernel strategies (§4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lbm.collision import SRT, TRT
+from repro.lbm.kernels import (
+    ConditionalSparseKernel,
+    IndexListSparseKernel,
+    IntervalSparseKernel,
+    fluid_intervals,
+    make_kernel,
+)
+from repro.lbm.lattice import D3Q19
+
+from helpers import interior, random_pdfs
+
+STRATEGIES = [ConditionalSparseKernel, IndexListSparseKernel, IntervalSparseKernel]
+IDS = ["conditional", "indexlist", "interval"]
+
+
+def tube_mask(cells, radius=1.6):
+    """A cylinder along z through the block center — consecutive fluid runs."""
+    nx, ny, nz = cells
+    x, y = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    disk = (x - nx / 2 + 0.5) ** 2 + (y - ny / 2 + 0.5) ** 2 <= radius**2
+    return np.broadcast_to(disk[:, :, None], cells).copy()
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestAgainstDense:
+    @pytest.mark.parametrize("strategy", STRATEGIES, ids=IDS)
+    @pytest.mark.parametrize("collision", [SRT(0.8), TRT.from_tau(0.8)], ids=["srt", "trt"])
+    def test_fluid_cells_match_dense(self, strategy, collision, rng):
+        cells = (6, 6, 6)
+        mask = tube_mask(cells)
+        src = random_pdfs(rng, D3Q19, cells)
+        dense_dst = np.zeros_like(src)
+        make_kernel("d3q19", D3Q19, collision, cells)(src, dense_dst)
+        sparse_dst = np.zeros_like(src)
+        strategy(mask, collision)(src, sparse_dst)
+        d = interior(dense_dst)[:, mask]
+        s = interior(sparse_dst)[:, mask]
+        assert np.allclose(s, d, atol=1e-13)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES, ids=IDS)
+    def test_non_fluid_cells_untouched(self, strategy, rng):
+        cells = (6, 6, 6)
+        mask = tube_mask(cells)
+        src = random_pdfs(rng, D3Q19, cells)
+        dst = np.full_like(src, -7.0)
+        strategy(mask, SRT(0.8))(src, dst)
+        # Interval kernel may write superfluous run cells *only* if they are
+        # fluid; all strategies must leave non-fluid interior cells alone.
+        untouched = interior(dst)[:, ~mask]
+        assert np.all(untouched == -7.0)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES, ids=IDS)
+    def test_full_mask_equals_dense(self, strategy, rng):
+        cells = (5, 4, 6)
+        mask = np.ones(cells, dtype=bool)
+        src = random_pdfs(rng, D3Q19, cells)
+        dense_dst = np.zeros_like(src)
+        make_kernel("d3q19", D3Q19, TRT.from_tau(0.9), cells)(src, dense_dst)
+        sparse_dst = np.zeros_like(src)
+        strategy(mask, TRT.from_tau(0.9))(src, sparse_dst)
+        assert np.allclose(interior(sparse_dst), interior(dense_dst), atol=1e-13)
+
+    def test_empty_mask_is_noop(self, rng):
+        cells = (4, 4, 4)
+        mask = np.zeros(cells, dtype=bool)
+        src = random_pdfs(rng, D3Q19, cells)
+        dst = np.full_like(src, 3.0)
+        IntervalSparseKernel(mask, SRT(0.8))(src, dst)
+        assert np.all(dst == 3.0)
+        dst2 = np.full_like(src, 3.0)
+        IndexListSparseKernel(mask, SRT(0.8))(src, dst2)
+        assert np.all(dst2 == 3.0)
+
+
+class TestIntervals:
+    def test_simple_runs(self):
+        mask = np.zeros((2, 2, 8), dtype=bool)
+        mask[0, 0, 2:5] = True
+        mask[1, 1, 0] = True
+        mask[1, 1, 7] = True
+        iv = fluid_intervals(mask)
+        assert iv == [(0, 0, 2, 5), (1, 1, 0, 8)]
+
+    def test_empty(self):
+        assert fluid_intervals(np.zeros((2, 2, 2), dtype=bool)) == []
+
+    def test_gappy_run_counts(self):
+        # A run with interior gaps: interval covers the gap cells but the
+        # kernel must only write back the true fluid ones.
+        mask = np.zeros((1, 1, 10), dtype=bool)
+        mask[0, 0, [1, 2, 5, 6]] = True
+        k = IntervalSparseKernel(mask, SRT(0.8))
+        assert k.fluid_cells == 4
+        assert k.run_width == 6
+        assert k.processed_cells == 6
+
+    def test_accounting(self):
+        cells = (6, 6, 6)
+        mask = tube_mask(cells)
+        cond = ConditionalSparseKernel(mask, SRT(0.8))
+        idx = IndexListSparseKernel(mask, SRT(0.8))
+        itv = IntervalSparseKernel(mask, SRT(0.8))
+        n_fluid = int(mask.sum())
+        assert cond.fluid_cells == idx.fluid_cells == itv.fluid_cells == n_fluid
+        assert cond.processed_cells == mask.size
+        assert idx.processed_cells == n_fluid
+        assert itv.processed_cells >= n_fluid
+
+
+class TestSparseValidation:
+    def test_non_boolean_mask_rejected(self, rng):
+        cells = (4, 4, 4)
+        src = random_pdfs(rng, D3Q19, cells)
+        k = IndexListSparseKernel(np.ones(cells, dtype=bool), SRT(0.8))
+        k.mask = np.ones(cells, dtype=np.int32)  # corrupt it
+        with pytest.raises(TypeError):
+            k(src, np.zeros_like(src))
+
+    def test_mask_shape_mismatch_rejected(self, rng):
+        cells = (4, 4, 4)
+        src = random_pdfs(rng, D3Q19, cells)
+        k = IndexListSparseKernel(np.ones((3, 3, 3), dtype=bool), SRT(0.8))
+        with pytest.raises(ValueError):
+            k(src, np.zeros_like(src))
+
+
+class TestSparseProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), p=st.floats(0.1, 0.9))
+    def test_random_masks_match_dense(self, seed, p):
+        rng = np.random.default_rng(seed)
+        cells = (4, 4, 5)
+        mask = rng.random(cells) < p
+        if not mask.any():
+            mask[0, 0, 0] = True
+        src = random_pdfs(rng, D3Q19, cells)
+        dense = np.zeros_like(src)
+        make_kernel("d3q19", D3Q19, SRT(0.8), cells)(src, dense)
+        for strategy in STRATEGIES:
+            out = np.zeros_like(src)
+            strategy(mask, SRT(0.8))(src, out)
+            assert np.allclose(
+                interior(out)[:, mask], interior(dense)[:, mask], atol=1e-12
+            )

@@ -1,0 +1,134 @@
+"""Tests for the non-equilibrium stress tensor and wall shear stress,
+validated against the analytic Poiseuille/Couette stress profiles."""
+
+import numpy as np
+import pytest
+
+from repro import flagdefs as fl
+from repro.core import Simulation
+from repro.errors import ConfigurationError
+from repro.lbm import (
+    D3Q19,
+    NoSlip,
+    SRT,
+    TRT,
+    UBB,
+    deviatoric_stress,
+    shear_rate_magnitude,
+    wall_shear_stress,
+)
+from repro.lbm.equilibrium import equilibrium
+
+
+def poiseuille_sim(F=1e-5, nz=10, tau=0.9, steps=2500):
+    sim = Simulation(
+        cells=(4, 4, nz),
+        collision=TRT.from_tau(tau),
+        body_force=(F, 0.0, 0.0),
+        periodic=(True, True, False),
+    )
+    sim.flags.fill(fl.FLUID)
+    sim.flags.data[:, :, 0] = fl.NO_SLIP
+    sim.flags.data[:, :, -1] = fl.NO_SLIP
+    sim.add_boundary(NoSlip())
+    sim.finalize()
+    sim.run(steps)
+    return sim
+
+
+class TestDeviatoricStress:
+    def test_poiseuille_stress_profile(self):
+        F, nz, tau = 1e-5, 10, 0.9
+        sim = poiseuille_sim(F, nz, tau)
+        sigma = deviatoric_stress(sim.model, sim.pdfs.interior_view, sim.collision)
+        sxz = sigma[2, 2, :, 0, 2]
+        z = np.arange(nz) + 0.5
+        exact = F * (nz / 2 - z)
+        assert np.abs(sxz - exact).max() < 1e-3 * np.abs(exact).max() + 1e-12
+
+    def test_equilibrium_has_zero_stress(self):
+        shape = (6, 6, 6)
+        rho = np.ones(shape)
+        u = np.full(shape + (3,), 0.03)
+        f = equilibrium(D3Q19, rho, u)
+        sigma = deviatoric_stress(D3Q19, f, SRT(0.8), state="pre_collision")
+        assert np.abs(sigma).max() < 1e-14
+
+    def test_traceless(self):
+        sim = poiseuille_sim(steps=300)
+        sigma = deviatoric_stress(sim.model, sim.pdfs.interior_view, sim.collision)
+        trace = np.trace(sigma, axis1=-2, axis2=-1)
+        assert np.abs(trace).max() < 1e-15
+
+    def test_symmetric(self):
+        sim = poiseuille_sim(steps=300)
+        sigma = deviatoric_stress(sim.model, sim.pdfs.interior_view, sim.collision)
+        assert np.allclose(sigma, np.swapaxes(sigma, -1, -2), atol=1e-16)
+
+    def test_tau_one_post_collision_rejected(self):
+        f = np.zeros((19, 4, 4, 4))
+        with pytest.raises(ConfigurationError):
+            deviatoric_stress(D3Q19, f, SRT(1.0))
+
+    def test_bad_state_rejected(self):
+        f = np.zeros((19, 4, 4, 4))
+        with pytest.raises(ConfigurationError):
+            deviatoric_stress(D3Q19, f, SRT(0.8), state="mid_air")
+
+
+class TestWallShearStress:
+    def test_poiseuille_wss(self):
+        # Analytic WSS at the near-wall cell center: F (H - 1) / 2.
+        F, nz = 1e-5, 10
+        sim = poiseuille_sim(F, nz)
+        wss = wall_shear_stress(
+            sim.model, sim.pdfs.interior_view, sim.collision, (0, 0, 1)
+        )
+        exact = F * (nz - 1) / 2
+        assert wss[2, 2, 0] == pytest.approx(exact, rel=1e-3)
+        assert wss[2, 2, -1] == pytest.approx(exact, rel=1e-3)
+        # The channel center is shear-free.
+        assert wss[2, 2, nz // 2] < 0.15 * exact
+
+    def test_couette_wss_uniform(self):
+        U, nz = 0.04, 8
+        sim = Simulation(
+            cells=(4, 4, nz),
+            collision=TRT.from_tau(0.9),
+            periodic=(True, True, False),
+        )
+        sim.flags.fill(fl.FLUID)
+        sim.flags.data[:, :, 0] = fl.NO_SLIP
+        sim.flags.data[:, :, -1] = fl.VELOCITY_BC
+        sim.add_boundary(NoSlip())
+        sim.add_boundary(UBB(velocity=(U, 0.0, 0.0)))
+        sim.finalize()
+        sim.run(3000)
+        wss = wall_shear_stress(
+            sim.model, sim.pdfs.interior_view, sim.collision, (0, 0, 1)
+        )
+        nu = sim.collision.viscosity
+        exact = nu * U / nz  # rho nu du/dz, uniform everywhere
+        profile = wss[2, 2, :]
+        assert np.allclose(profile, exact, rtol=0.02)
+
+    def test_normal_validation(self):
+        f = np.zeros((19, 4, 4, 4))
+        with pytest.raises(ConfigurationError):
+            wall_shear_stress(D3Q19, f, SRT(0.8), (0, 0, 0))
+        with pytest.raises(ConfigurationError):
+            wall_shear_stress(D3Q19, f, SRT(0.8), (1, 0))
+
+
+class TestShearRate:
+    def test_poiseuille_shear_rate(self):
+        F, nz, tau = 1e-5, 10, 0.9
+        nu = (tau - 0.5) / 3.0
+        sim = poiseuille_sim(F, nz, tau)
+        sr = shear_rate_magnitude(
+            sim.model, sim.pdfs.interior_view, sim.collision
+        )
+        # |S| = |du/dz| (single shear component -> sqrt(2 * 2 (du/dz/2)^2)).
+        z = np.arange(nz) + 0.5
+        dudz = np.abs(F * (nz / 2 - z) / nu)
+        assert np.allclose(sr[2, 2, :], dudz, rtol=0.01, atol=1e-8)

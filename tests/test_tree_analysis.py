@@ -1,0 +1,64 @@
+"""Tests for vessel-tree morphometry."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import CoronaryTree, analyze_tree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return CoronaryTree.generate(generations=5, root_radius=1.9e-3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def morph(tree):
+    return analyze_tree(tree)
+
+
+class TestMorphometry:
+    def test_segment_and_generation_counts(self, tree, morph):
+        assert morph.n_segments == tree.n_segments == 63
+        assert morph.n_generations == 6
+        assert [g.n_segments for g in morph.generations] == [1, 2, 4, 8, 16, 32]
+
+    def test_murray_law_exact_for_generator(self, morph):
+        # The generator enforces Murray's law exactly.
+        assert morph.murray_max_residual < 1e-12
+
+    def test_radii_monotone_decreasing(self, morph):
+        radii = [g.mean_radius for g in morph.generations]
+        assert radii == sorted(radii, reverse=True)
+
+    def test_volume_constant_per_generation(self, morph):
+        # With L = k r and Murray's law with two children:
+        # V_gen+1 / V_gen = sum r_i^3 / r_p^3 = 1 — volume per generation
+        # is conserved (the classical result).
+        vols = [g.total_volume for g in morph.generations]
+        assert np.allclose(vols, vols[0], rtol=1e-9)
+
+    def test_totals_match_tree(self, tree, morph):
+        assert morph.total_volume == pytest.approx(tree.volume_estimate(), rel=1e-9)
+        assert morph.total_length == pytest.approx(
+            sum(s.length for s in tree.segments), rel=1e-12
+        )
+
+    def test_length_radius_ratio(self, morph):
+        # The generator uses length = 10 * radius everywhere.
+        assert morph.length_radius_ratio_mean == pytest.approx(10.0, rel=1e-9)
+
+    def test_strahler_of_full_binary_tree(self, morph):
+        # A perfect binary tree of depth d has Strahler order d + 1.
+        assert morph.strahler_order == 6
+
+    def test_single_segment_tree(self):
+        t = CoronaryTree.generate(generations=0, seed=0)
+        m = analyze_tree(t)
+        assert m.n_segments == 1
+        assert m.strahler_order == 1
+        assert m.murray_max_residual == 0.0
+
+    def test_summary_rows_shape(self, morph):
+        rows = morph.summary_rows()
+        assert len(rows) == 6
+        assert rows[0][0] == 0 and rows[-1][0] == 5
