@@ -6,6 +6,18 @@ Commands
 ``figures``    regenerate every paper figure (paper-vs-ours tables)
 ``cavity``     run a lid-driven cavity and print performance
 ``coronary``   run the coronary pipeline end to end
+
+Profiling
+---------
+``--profile`` turns on the hierarchical timing tree (waLBerla's timing
+pool, §4 of the paper).  On its own — ``python -m repro --profile`` —
+it runs the lid-driven cavity as an SPMD program over virtual MPI
+ranks, prints the rank-reduced (min/avg/max) timing tree with the
+per-sweep communication fraction, and writes a machine-readable JSON
+report (``--profile-json``, default ``repro_profile.json``); add
+``--profile-csv`` for a flat per-scope CSV.  Combined with ``cavity``
+or ``coronary`` it profiles that scenario instead.  See
+``docs/profiling.md``.
 """
 
 from __future__ import annotations
@@ -71,6 +83,75 @@ def _cmd_figures(args) -> int:
     return 0
 
 
+def _emit_profile(timeloop, args, scenario: str, derived=None) -> None:
+    """Print the reduced timing tree + comm breakdown for one in-process
+    run and write the JSON (and optional CSV) report."""
+    from .harness import format_comm_breakdown, format_timing_tree
+    from .perf.timing import reduce_trees
+
+    reduced = reduce_trees([timeloop.tree])
+    print()
+    print(format_timing_tree(
+        reduced, title=f"{scenario} ({timeloop.steps_run} steps)"
+    ))
+    print()
+    print(format_comm_breakdown(reduced))
+    if derived:
+        print("derived metrics:")
+        for k, v in derived.items():
+            print(f"  {k:<28s} {v:,.3f}")
+    json_path = args.profile_json or "repro_profile.json"
+    payload = {
+        "schema": "repro.profile/1",
+        "scenario": scenario,
+        "ranks": 1,
+        "steps": timeloop.steps_run,
+        "derived": dict(derived or {}),
+        "timing": reduced.to_dict(),
+    }
+    import json
+
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {json_path}")
+    if args.profile_csv:
+        _write_profile_csv(reduced, args.profile_csv)
+        print(f"wrote {args.profile_csv}")
+
+
+def _write_profile_csv(reduced, path: str) -> None:
+    """Flat per-scope CSV of a reduced timing tree."""
+    import csv
+
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(
+            fh,
+            fieldnames=[
+                "path", "depth", "calls",
+                "total_min", "total_avg", "total_max", "n_ranks",
+            ],
+        )
+        writer.writeheader()
+        writer.writerows(reduced.rows())
+
+
+def _cmd_profile(args) -> int:
+    """Bare ``--profile``: the SPMD cavity profile across virtual ranks."""
+    from .harness import profile_spmd_cavity
+
+    result = profile_spmd_cavity(
+        ranks=args.profile_ranks, steps=args.profile_steps
+    )
+    print(result.report())
+    json_path = args.profile_json or "repro_profile.json"
+    result.to_json(json_path)
+    print(f"\nwrote {json_path}")
+    if args.profile_csv:
+        result.to_csv(args.profile_csv)
+        print(f"wrote {args.profile_csv}")
+    return 0
+
+
 def _cmd_cavity(args) -> int:
     import numpy as np
 
@@ -94,6 +175,11 @@ def _cmd_cavity(args) -> int:
         f"cavity {n}^3, {args.steps} steps: {sim.mlups():.2f} MLUPS, "
         f"max |u| = {np.nanmax(np.abs(sim.velocity())):.4f}"
     )
+    if args.profile:
+        _emit_profile(
+            sim.timeloop, args, f"cavity {n}^3",
+            derived={"kernel MLUPS": sim.mlups()},
+        )
     if args.vtk:
         from .io import write_simulation_vtk
 
@@ -133,6 +219,14 @@ def _cmd_coronary(args) -> int:
         f"on {args.ranks} ranks, {args.steps} steps: "
         f"{sim.mflups():.2f} MFLUPS, comm {100 * sim.comm_fraction():.1f}%"
     )
+    if args.profile:
+        _emit_profile(
+            sim.timeloop, args, "coronary pipeline",
+            derived={
+                "MFLUPS": sim.mflups(),
+                "comm fraction": sim.comm_fraction(),
+            },
+        )
     if args.vtk:
         from .io import write_simulation_vtk
 
@@ -146,7 +240,28 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="waLBerla SC13 reproduction toolkit",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the reduced hierarchical timing tree and write a JSON "
+        "report; without a command, profiles the SPMD lid-driven cavity",
+    )
+    parser.add_argument(
+        "--profile-json", type=str, default=None, metavar="PATH",
+        help="JSON report path (default repro_profile.json)",
+    )
+    parser.add_argument(
+        "--profile-csv", type=str, default=None, metavar="PATH",
+        help="also write the flattened per-scope timings as CSV",
+    )
+    parser.add_argument(
+        "--profile-ranks", type=int, default=4,
+        help="virtual MPI ranks for the bare --profile run (default 4)",
+    )
+    parser.add_argument(
+        "--profile-steps", type=int, default=30,
+        help="time steps for the bare --profile run (default 30)",
+    )
+    sub = parser.add_subparsers(dest="command", required=False)
 
     sub.add_parser("info", help="framework and machine-model summary")
 
@@ -174,6 +289,10 @@ def main(argv=None) -> int:
     p_cor.add_argument("--vtk", type=str, default=None)
 
     args = parser.parse_args(argv)
+    if args.command is None:
+        if args.profile:
+            return _cmd_profile(args)
+        parser.error("a command is required unless --profile is given")
     handlers = {
         "info": _cmd_info,
         "figures": _cmd_figures,

@@ -68,7 +68,11 @@ def curve_split(workloads: Sequence[float], k: int) -> List[int]:
     for i in range(n):
         if count_in_part > 0 and p < k - 1:
             target = (p + 1) * total / k
-            must_advance = (n - i) == (k - p)  # one item left per part
+            # Advance when the remaining items are only just enough to
+            # give every remaining part one item.  ``<=`` (not ``==``):
+            # a single heavy item can cross several quantile targets at
+            # once, leaving the greedy walk more than one part behind.
+            must_advance = (n - i) <= (k - p)
             if acc + 0.5 * w[i] >= target or must_advance:
                 p += 1
                 count_in_part = 0

@@ -29,7 +29,7 @@ from ..geometry.implicit import ImplicitGeometry
 from ..geometry.voxelize import ColorMap, voxelize_block
 from ..lbm.boundary import BoundaryHandling, Condition, NoSlip, PressureABB, UBB
 from ..lbm.collision import SRT, TRT
-from ..lbm.kernels.registry import make_kernel
+from ..lbm.kernels.registry import instrument_kernel, make_kernel
 from ..lbm.kernels.sparse import (
     ConditionalSparseKernel,
     IndexListSparseKernel,
@@ -224,18 +224,29 @@ class DistributedSimulation:
                 self.kernel_names[key] = rt.kernel_name
                 self._handlers[key] = rt.handler
 
-        self.exchange = GhostExchange(
-            self.fields,
-            self._build_specs(),
-            pdf_filter=model if filtered_communication else None,
-        )
         self.timeloop = (
             TimeLoop()
-            .add("communication", self.exchange.exchange)
+            .add("communication", lambda: self.exchange.exchange())
             .add("boundary", self._apply_boundaries)
             .add("kernel", self._run_kernels)
             .add("swap", self._swap_all)
         )
+        self.exchange = GhostExchange(
+            self.fields,
+            self._build_specs(),
+            pdf_filter=model if filtered_communication else None,
+            tree=self.timeloop.tree,
+        )
+        # Per-tier kernel timers nest under the "kernel" sweep scope.
+        for key, kern in self._kernels.items():
+            self._kernels[key] = instrument_kernel(
+                kern, self.timeloop.tree, self.kernel_names[key]
+            )
+        self._cells_per_step = sum(
+            getattr(k, "processed_cells", int(np.prod(self.blocks[key].cells)))
+            for key, k in self._kernels.items()
+        )
+        self._fluid_per_step = self.total_fluid_cells()
 
     # -- construction helpers ---------------------------------------------
     def _build_specs(self) -> List[CopySpec]:
@@ -303,9 +314,12 @@ class DistributedSimulation:
     def _run_kernels(self) -> None:
         if self._pool is not None:
             list(self._pool.map(self._kernel_one, self._kernels))
-            return
-        for key in self._kernels:
-            self._kernel_one(key)
+        else:
+            for key in self._kernels:
+                self._kernel_one(key)
+        tree = self.timeloop.tree
+        tree.add_counter("cells_updated", self._cells_per_step)
+        tree.add_counter("fluid_cell_updates", self._fluid_per_step)
 
     def _swap_all(self) -> None:
         for field in self.fields.values():
@@ -439,3 +453,8 @@ class DistributedSimulation:
         """Fraction of wall time spent in the communication sweep — the
         quantity plotted as dotted lines in Figure 6."""
         return self.timeloop.fraction("communication")
+
+    def timing_report(self) -> str:
+        """Hierarchical timing tree: sweeps with comm pack/send/unpack
+        sub-scopes and per-tier kernel timers (waLBerla's timing pool)."""
+        return self.timeloop.timing_report()

@@ -13,6 +13,8 @@ that the communication pattern is right.
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -26,6 +28,7 @@ from ..geometry.voxelize import ColorMap
 from ..lbm.boundary import Condition
 from ..lbm.collision import SRT, TRT
 from ..lbm.lattice import D3Q19, LatticeModel
+from ..perf.timing import TimingTree
 from .distributed import BlockRuntime, build_block_runtime
 from .ghostlayer import ghost_slices, send_slices
 from .vmpi import Comm, VirtualMPI
@@ -55,10 +58,18 @@ def spmd_rank_program(
     flag_setter: Optional[Callable[[LocalBlock, FlagField], None]] = None,
     colors: Optional[ColorMap] = None,
     model: LatticeModel = D3Q19,
+    tree: Optional[TimingTree] = None,
 ) -> Dict[object, np.ndarray]:
     """One rank's complete simulation: build local blocks, exchange
     ghosts by message passing, step, and return the final interior PDFs
-    of the local blocks (keyed by block id)."""
+    of the local blocks (keyed by block id).
+
+    ``tree`` enables per-rank timing: communication (with pack+send /
+    local copy / recv+unpack sub-scopes), boundary, kernel, swap and the
+    per-step sync barrier each get a scope, and cell/byte counters are
+    accumulated — reduce the per-rank trees afterwards with
+    :func:`~repro.perf.timing.reduce_trees` (or in-band with
+    :func:`~repro.perf.timing.reduce_over_comm`)."""
     view = view_for_rank(forest, comm.rank)
     runtimes: Dict[object, BlockRuntime] = {}
     local: Dict[object, LocalBlock] = {}
@@ -99,27 +110,65 @@ def spmd_rank_program(
                     )
                 )
 
+    def scope(name: str):
+        return tree.scoped(name) if tree is not None else nullcontext()
+
+    cells_per_step = sum(
+        getattr(
+            rt.kernel, "processed_cells", int(np.prod(local[bid].cells))
+        )
+        for bid, rt in runtimes.items()
+    )
+    fluid_per_step = sum(blk.fluid_cells for blk in local.values())
+
     for _ in range(int(steps)):
         # 1. communication: fire all sends, then drain the expected recvs.
-        for dest, tag, block_id, sl in sends:
-            payload = np.ascontiguousarray(runtimes[block_id].field.src[sl])
-            comm.send(payload, dest=dest, tag=tag)
-        for block_id, ghost_sl, src_id, src_sl in local_copies:
-            runtimes[block_id].field.src[ghost_sl] = runtimes[src_id].field.src[src_sl]
-        for source, tag, block_id, ghost_sl in recvs:
-            data = comm.recv(source=source, tag=tag)
-            region = runtimes[block_id].field.src[ghost_sl]
-            if data.shape != region.shape:
-                raise CommunicationError(
-                    f"ghost region shape mismatch: got {data.shape}, "
-                    f"expected {region.shape}"
-                )
-            region[...] = data
+        with scope("communication"):
+            with scope("pack+send"):
+                sent_bytes = 0
+                for dest, tag, block_id, sl in sends:
+                    payload = np.ascontiguousarray(runtimes[block_id].field.src[sl])
+                    sent_bytes += payload.nbytes
+                    comm.send(payload, dest=dest, tag=tag)
+            with scope("local copy"):
+                for block_id, ghost_sl, src_id, src_sl in local_copies:
+                    runtimes[block_id].field.src[ghost_sl] = (
+                        runtimes[src_id].field.src[src_sl]
+                    )
+            with scope("recv+unpack"):
+                for source, tag, block_id, ghost_sl in recvs:
+                    data = comm.recv(source=source, tag=tag)
+                    region = runtimes[block_id].field.src[ghost_sl]
+                    if data.shape != region.shape:
+                        raise CommunicationError(
+                            f"ghost region shape mismatch: got {data.shape}, "
+                            f"expected {region.shape}"
+                        )
+                    region[...] = data
         # 2./3./4. boundary handling, kernel, swap — per local block.
-        for rt in runtimes.values():
-            rt.step_local()
+        if tree is None:
+            for rt in runtimes.values():
+                rt.step_local()
+        else:
+            with scope("boundary"):
+                for rt in runtimes.values():
+                    rt.handler.apply(rt.field.src)
+            with scope("kernel"):
+                for rt in runtimes.values():
+                    t0 = time.perf_counter()
+                    rt.kernel(rt.field.src, rt.field.dst)
+                    tree.record(
+                        f"tier:{rt.kernel_name}", time.perf_counter() - t0
+                    )
+            with scope("swap"):
+                for rt in runtimes.values():
+                    rt.field.swap()
+            tree.add_counter("cells_updated", cells_per_step)
+            tree.add_counter("fluid_cell_updates", fluid_per_step)
+            tree.add_counter("comm.remote_bytes", sent_bytes)
         # Keep ranks in lockstep (mirrors waLBerla's per-step sync).
-        comm.barrier()
+        with scope("sync"):
+            comm.barrier()
 
     return {
         block_id: rt.field.interior_view.copy()
@@ -137,15 +186,25 @@ def run_spmd_simulation(
     flag_setter: Optional[Callable[[LocalBlock, FlagField], None]] = None,
     colors: Optional[ColorMap] = None,
     model: LatticeModel = D3Q19,
+    timing_trees: Optional[Sequence[TimingTree]] = None,
 ) -> Dict[object, np.ndarray]:
     """Run the SPMD program on every virtual rank and merge the results.
 
     ``world.size`` must equal the forest's process count.  Returns the
     final interior PDFs of every block, keyed by block id.
+
+    ``timing_trees`` — one :class:`~repro.perf.timing.TimingTree` per
+    rank — turns on per-rank sweep/sub-scope timing; reduce them
+    afterwards with :func:`~repro.perf.timing.reduce_trees`.
     """
     if world.size != forest.n_processes:
         raise CommunicationError(
             f"world size {world.size} != forest processes {forest.n_processes}"
+        )
+    if timing_trees is not None and len(timing_trees) != world.size:
+        raise CommunicationError(
+            f"need one timing tree per rank: got {len(timing_trees)} "
+            f"for {world.size} ranks"
         )
     if conditions is None:
         conditions = []
@@ -155,6 +214,7 @@ def run_spmd_simulation(
             comm, forest, collision, steps, conditions,
             geometry=geometry, flag_setter=flag_setter, colors=colors,
             model=model,
+            tree=timing_trees[comm.rank] if timing_trees is not None else None,
         )
 
     per_rank = world.run(program)

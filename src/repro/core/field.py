@@ -41,6 +41,7 @@ class PdfField:
 
     @property
     def padded_shape(self) -> Tuple[int, ...]:
+        """Spatial shape including the one-cell ghost layer per face."""
         return self.src.shape[1:]
 
     @property

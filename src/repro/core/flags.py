@@ -48,6 +48,7 @@ class FlagField:
 
     @property
     def dim(self) -> int:
+        """Spatial dimensionality of the flag field."""
         return len(self.cells)
 
     @property

@@ -16,7 +16,7 @@ from ..errors import ConfigurationError, NumericalError
 from ..lbm.boundary import BoundaryHandling, Condition
 from ..lbm.forcing import ConstantBodyForce
 from ..lbm.collision import SRT, TRT
-from ..lbm.kernels.registry import make_kernel
+from ..lbm.kernels.registry import instrument_kernel, make_kernel
 from ..lbm.kernels.sparse import (
     ConditionalSparseKernel,
     IndexListSparseKernel,
@@ -122,6 +122,8 @@ class Simulation:
         if n_fluid == 0:
             raise ConfigurationError("no fluid cells flagged")
         has_outside = bool((self.flags.interior == fl.OUTSIDE).any())
+        self.timeloop = TimeLoop()
+        tree = self.timeloop.tree
 
         name = self.kernel_name
         if name is None:
@@ -129,21 +131,27 @@ class Simulation:
         if name in _SPARSE_KERNELS:
             if self.model.name != "D3Q19":
                 raise ConfigurationError("sparse kernels require D3Q19")
-            self._kernel = _SPARSE_KERNELS[name](fluid, self.collision)
+            self._kernel = instrument_kernel(
+                _SPARSE_KERNELS[name](fluid, self.collision), tree, name
+            )
         else:
             if has_outside:
                 raise ConfigurationError(
                     f"dense kernel {name!r} on a block with OUTSIDE cells; "
                     "use a sparse strategy (conditional/indexlist/interval)"
                 )
-            self._kernel = make_kernel(name, self.model, self.collision, self.cells)
+            self._kernel = make_kernel(
+                name, self.model, self.collision, self.cells, tree=tree
+            )
         self.kernel_name = name
 
         self._bh = BoundaryHandling(self.model, self.flags, self.boundaries)
         self.pdfs.set_equilibrium(rho=rho, u=u)
         self.fluid_cells = n_fluid
         self._fluid_mask = fluid
-        self.timeloop = TimeLoop()
+        self._processed_cells = int(
+            getattr(self._kernel, "processed_cells", np.prod(self.cells))
+        )
         if any(self.periodic):
             self.timeloop.add("periodic", self._wrap_periodic)
         self.timeloop.add("boundary", lambda: self._bh.apply(self.pdfs.src))
@@ -193,6 +201,16 @@ class Simulation:
 
     def _step_kernel(self) -> None:
         self._kernel(self.pdfs.src, self.pdfs.dst)
+        tree = self.timeloop.tree
+        tree.add_counter("cells_updated", self._processed_cells)
+        tree.add_counter("fluid_cell_updates", self.fluid_cells)
+
+    def timing_report(self) -> str:
+        """Hierarchical timing tree of the run (waLBerla's timing pool),
+        including the per-tier kernel sub-scope and counters."""
+        if self.timeloop is None:
+            raise ConfigurationError("finalize() before timing_report()")
+        return self.timeloop.timing_report()
 
     # -- execution ------------------------------------------------------------
     def run(self, steps: int, check_every: int = 0) -> "Simulation":

@@ -2,16 +2,22 @@
 
 waLBerla structures a simulation as a sequence of *sweeps* executed per
 time step (communication, boundary handling, LBM kernel, ...).  The
-:class:`TimeLoop` here is that scheduler, with per-sweep wall-clock
-accounting so the harness can report the fraction of time spent in
-communication exactly like the dotted lines of Figure 6.
+:class:`TimeLoop` here is that scheduler.  Every sweep records into a
+hierarchical :class:`~repro.perf.timing.TimingTree` (waLBerla's timing
+pool), so sub-scopes opened *inside* a sweep — ghost-layer pack/unpack,
+per-tier kernel timers — nest under the sweep's node, and the harness
+can report the fraction of time spent in communication exactly like the
+dotted lines of Figure 6.  The flat :meth:`TimeLoop.timings` mapping is
+kept as a view for callers that only need per-sweep totals.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
+
+from ..perf.timing import TimingTree
 
 __all__ = ["Sweep", "TimeLoop"]
 
@@ -25,19 +31,31 @@ class Sweep:
     seconds: float = 0.0
     calls: int = 0
 
-    def run(self) -> None:
+    def run(self, tree: Optional[TimingTree] = None) -> None:
+        """Execute once; account wall time (and the tree scope if given)."""
         t0 = time.perf_counter()
-        self.fn()
+        if tree is None:
+            self.fn()
+        else:
+            with tree.scoped(self.name):
+                self.fn()
         self.seconds += time.perf_counter() - t0
         self.calls += 1
 
 
 @dataclass
 class TimeLoop:
-    """Executes registered sweeps in order, once per time step."""
+    """Executes registered sweeps in order, once per time step.
+
+    ``tree`` is the timing tree all sweeps record into; it is created
+    per loop by default but can be shared (e.g. one tree per virtual
+    rank in an SPMD run, later reduced with
+    :func:`~repro.perf.timing.reduce_trees`).
+    """
 
     sweeps: List[Sweep] = field(default_factory=list)
     steps_run: int = 0
+    tree: TimingTree = field(default_factory=TimingTree)
 
     def add(self, name: str, fn: Callable[[], None]) -> "TimeLoop":
         """Append a sweep; returns self for chaining."""
@@ -46,8 +64,9 @@ class TimeLoop:
 
     def step(self) -> None:
         """Run one time step."""
+        tree = self.tree
         for sweep in self.sweeps:
-            sweep.run()
+            sweep.run(tree)
         self.steps_run += 1
 
     def run(self, steps: int) -> None:
@@ -56,7 +75,7 @@ class TimeLoop:
             self.step()
 
     def timings(self) -> Dict[str, float]:
-        """Accumulated seconds per sweep name."""
+        """Accumulated seconds per sweep name (flat view of the tree)."""
         return {s.name: s.seconds for s in self.sweeps}
 
     def fraction(self, name: str) -> float:
@@ -79,8 +98,14 @@ class TimeLoop:
             )
         return "\n".join(lines)
 
+    def timing_report(self) -> str:
+        """The hierarchical rendering, including nested sub-scopes."""
+        return self.tree.render(title=f"time loop ({self.steps_run} steps)")
+
     def reset_timings(self) -> None:
+        """Zero all sweep accumulators and the timing tree."""
         for s in self.sweeps:
             s.seconds = 0.0
             s.calls = 0
         self.steps_run = 0
+        self.tree.reset()

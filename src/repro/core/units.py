@@ -54,12 +54,15 @@ class UnitScales:
 
     # -- lattice -> physical ------------------------------------------------
     def velocity_to_physical(self, u_lat: float) -> float:
+        """Lattice velocity -> [m/s]."""
         return u_lat * self.dx / self.dt
 
     def length_to_physical(self, cells: float) -> float:
+        """Cell count -> [m]."""
         return cells * self.dx
 
     def time_to_physical(self, steps: float) -> float:
+        """Time-step count -> [s]."""
         return steps * self.dt
 
 

@@ -14,12 +14,20 @@ from .figures import (
     roofline_summary,
 )
 from .paper_case import (
+    ProfileResult,
     measure_host_kernel_mlups,
     paper_block_model,
     paper_coronary_tree,
     paper_geometry,
+    profile_spmd_cavity,
 )
-from .report import format_comparison, format_table, print_header
+from .report import (
+    format_comm_breakdown,
+    format_comparison,
+    format_table,
+    format_timing_tree,
+    print_header,
+)
 
 __all__ = [
     "FigureResult",
@@ -28,5 +36,7 @@ __all__ = [
     "fig8_strong_coronary", "roofline_summary", "machine_comparison",
     "measure_host_kernel_mlups", "paper_block_model",
     "paper_coronary_tree", "paper_geometry",
+    "ProfileResult", "profile_spmd_cavity",
     "format_comparison", "format_table", "print_header",
+    "format_comm_breakdown", "format_timing_tree",
 ]

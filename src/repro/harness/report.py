@@ -9,7 +9,16 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "format_comparison", "print_header"]
+from ..perf.metrics import comm_bandwidth as _comm_bandwidth
+from ..perf.timing import ReducedTimingTree
+
+__all__ = [
+    "format_table",
+    "format_comparison",
+    "print_header",
+    "format_timing_tree",
+    "format_comm_breakdown",
+]
 
 
 def format_table(
@@ -47,6 +56,46 @@ def format_comparison(
 def print_header(title: str) -> str:
     bar = "=" * max(len(title), 20)
     return f"\n{bar}\n{title}\n{bar}"
+
+
+def format_timing_tree(tree, title: str = "timing tree") -> str:
+    """Render a (reduced) timing tree as an aligned text block.
+
+    Accepts either a :class:`~repro.perf.timing.TimingTree` or a
+    :class:`~repro.perf.timing.ReducedTimingTree`; both expose
+    ``render``.
+    """
+    return tree.render(title=title)
+
+
+def format_comm_breakdown(reduced: ReducedTimingTree) -> str:
+    """Per-sweep share table plus derived communication metrics.
+
+    The "comm fraction" row is the quantity plotted as dotted lines in
+    Figure 6 of the paper; the bandwidth row divides the
+    ``comm.remote_bytes`` counter by the communication scope's average
+    wall seconds (§4's per-message accounting, measured instead of
+    modeled).
+    """
+    total = reduced.total_seconds()
+    rows = []
+    for name, node in reduced.root.children.items():
+        share = node.total_avg / total if total > 0 else 0.0
+        rows.append((name, f"{node.total_avg:.4f}", f"{100 * share:.1f}%"))
+    lines = [format_table(("sweep", "avg s", "share"), rows,
+                          title="per-sweep breakdown (avg over ranks)")]
+    comm = reduced.root.children.get("communication")
+    if comm is not None:
+        lines.append(f"comm fraction (Fig. 6 dotted line): "
+                     f"{100 * reduced.fraction('communication'):.1f}%")
+        nbytes = reduced.counters.get("comm.remote_bytes", 0.0)
+        bw = _comm_bandwidth(nbytes, comm.total_avg * max(reduced.n_ranks, 1))
+        if nbytes:
+            lines.append(
+                f"remote ghost-layer traffic: {nbytes:,.0f} B, "
+                f"{bw / 1024**2:.1f} MiB/s per rank"
+            )
+    return "\n".join(lines)
 
 
 def _fmt(v: object) -> str:

@@ -13,9 +13,16 @@ pure-Python reference used only for verification:
 
 from __future__ import annotations
 
-from typing import Callable, Tuple, Union
+import time
+from typing import TYPE_CHECKING, Callable, Optional, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    # Runtime import would recurse: ``repro.perf`` initializes
+    # ``repro.core`` which imports this module back.  The tree argument
+    # is duck-typed at runtime anyway.
+    from ...perf.timing import TimingTree
 
 from ..collision import SRT, TRT
 from ..lattice import D3Q19, LatticeModel
@@ -24,7 +31,7 @@ from .generic import generic_step
 from .reference import reference_step
 from .vectorized import VectorizedD3Q19Kernel
 
-__all__ = ["make_kernel", "KERNEL_TIERS"]
+__all__ = ["make_kernel", "instrument_kernel", "InstrumentedKernel", "KERNEL_TIERS"]
 
 Collision = Union[SRT, TRT]
 Kernel = Callable[[np.ndarray, np.ndarray], None]
@@ -49,11 +56,52 @@ class _StatelessKernel:
         return f"<{self.name} kernel, {self.model.name}, {self.collision}>"
 
 
+class InstrumentedKernel:
+    """Wraps any kernel so every call is accounted to a timing tree.
+
+    Each call records under the tree's *current* scope as a child named
+    ``tier:<name>`` via :meth:`~repro.perf.timing.TimingTree.record` —
+    no scope push, so concurrent per-block kernel calls from a thread
+    pool are safe (they accumulate CPU time under the enclosing
+    ``kernel`` sweep).  ``processed_cells`` and other attributes of the
+    wrapped kernel are forwarded.
+    """
+
+    def __init__(self, kernel: Kernel, tree: TimingTree, name: str):
+        self.kernel = kernel
+        self.tree = tree
+        self.scope_name = name
+
+    def __call__(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Run the wrapped kernel, recording its wall time."""
+        t0 = time.perf_counter()
+        self.kernel(src, dst)
+        self.tree.record(self.scope_name, time.perf_counter() - t0)
+
+    def __getattr__(self, attr: str):
+        """Forward e.g. ``processed_cells`` / ``model`` to the wrapped kernel."""
+        return getattr(self.kernel, attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<instrumented {self.kernel!r} as {self.scope_name}>"
+
+
+def instrument_kernel(
+    kernel: Kernel, tree: Optional[TimingTree], name: str
+) -> Kernel:
+    """Wrap ``kernel`` with per-call timing under scope ``tier:<name>``;
+    a ``None`` tree returns the kernel unchanged (zero overhead)."""
+    if tree is None:
+        return kernel
+    return InstrumentedKernel(kernel, tree, f"tier:{name}")
+
+
 def make_kernel(
     tier: str,
     model: LatticeModel,
     collision: Collision,
     cells: Tuple[int, ...] | None = None,
+    tree: Optional[TimingTree] = None,
 ) -> Kernel:
     """Build a kernel of the given tier.
 
@@ -68,21 +116,29 @@ def make_kernel(
     cells:
         Interior cell counts — required for the stateful ``vectorized``
         tier (it preallocates scratch buffers), ignored otherwise.
+    tree:
+        Optional :class:`~repro.perf.timing.TimingTree`; when given the
+        kernel is wrapped so every call records under a ``tier:<name>``
+        child of the tree's current scope.
     """
     if tier == "reference":
-        return _StatelessKernel(tier, reference_step, model, collision)
-    if tier == "generic":
-        return _StatelessKernel(tier, generic_step, model, collision)
-    if tier == "d3q19":
+        kernel: Kernel = _StatelessKernel(tier, reference_step, model, collision)
+    elif tier == "generic":
+        kernel = _StatelessKernel(tier, generic_step, model, collision)
+    elif tier == "d3q19":
         if model.name != "D3Q19":
             raise ValueError(f"tier 'd3q19' requires the D3Q19 model, got {model.name}")
-        return _StatelessKernel(tier, d3q19_step, model, collision)
-    if tier == "vectorized":
+        kernel = _StatelessKernel(tier, d3q19_step, model, collision)
+    elif tier == "vectorized":
         if model.name != "D3Q19":
             raise ValueError(
                 f"tier 'vectorized' requires the D3Q19 model, got {model.name}"
             )
         if cells is None:
             raise ValueError("tier 'vectorized' needs the interior cell counts")
-        return VectorizedD3Q19Kernel(cells, collision)
-    raise ValueError(f"unknown kernel tier {tier!r}; choose from {KERNEL_TIERS}")
+        kernel = VectorizedD3Q19Kernel(cells, collision)
+    else:
+        raise ValueError(
+            f"unknown kernel tier {tier!r}; choose from {KERNEL_TIERS}"
+        )
+    return instrument_kernel(kernel, tree, tier)

@@ -6,10 +6,23 @@ from .ecm import EcmModel, EcmPrediction
 from .machines import JUQUEEN, MACHINES, MachineSpec, SUPERMUC
 from .metrics import (
     bandwidth_utilization,
+    comm_bandwidth,
     flops_estimate,
     mflups,
     mlups,
     parallel_efficiency,
+)
+from .timing import (
+    ReducedTimingNode,
+    ReducedTimingTree,
+    TimerStats,
+    TimingNode,
+    TimingTree,
+    best_of,
+    clear_timing_registry,
+    get_timing_tree,
+    reduce_over_comm,
+    reduce_trees,
 )
 from .network import (
     IslandTreeNetwork,
@@ -38,8 +51,11 @@ from .stream import StreamResult, measure_copy_bandwidth, measure_lbm_pattern_ba
 __all__ = [
     "EcmModel", "EcmPrediction",
     "JUQUEEN", "MACHINES", "MachineSpec", "SUPERMUC",
-    "bandwidth_utilization", "flops_estimate", "mflups", "mlups",
-    "parallel_efficiency",
+    "bandwidth_utilization", "comm_bandwidth", "flops_estimate",
+    "mflups", "mlups", "parallel_efficiency",
+    "ReducedTimingNode", "ReducedTimingTree", "TimerStats", "TimingNode",
+    "TimingTree", "best_of", "clear_timing_registry", "get_timing_tree",
+    "reduce_over_comm", "reduce_trees",
     "IslandTreeNetwork", "NetworkModel", "TorusNetwork",
     "cross_island_fraction", "network_for",
     "RooflinePoint", "lbm_traffic_per_cell", "machine_roofline", "roofline_mlups",

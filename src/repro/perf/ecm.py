@@ -99,12 +99,14 @@ class EcmModel:
     def single_core_mlups(
         self, clock_hz: Optional[float] = None, smt: int = 1
     ) -> float:
+        """ECM-predicted single-core performance in MLUPS (paper Fig. 4)."""
         clock = clock_hz or self.machine.clock_hz
         cycles = self.single_core_cycles(clock, smt)
         return UPDATES_PER_WORK_UNIT * clock / cycles / 1e6
 
     # -- multicore ------------------------------------------------------------
     def roofline(self, clock_hz: Optional[float] = None) -> float:
+        """Bandwidth-limited socket MLUPS ceiling at the given clock."""
         clock = clock_hz or self.machine.clock_hz
         return roofline_mlups(
             self.machine.bandwidth_at_clock(clock), self.bytes_per_update

@@ -67,18 +67,22 @@ class MachineSpec:
 
     @property
     def cores_per_node(self) -> int:
+        """Physical cores on one node."""
         return self.cores_per_socket * self.sockets_per_node
 
     @property
     def total_cores(self) -> int:
+        """Physical cores across the whole machine."""
         return self.cores_per_node * self.n_nodes
 
     @property
     def node_lbm_bandwidth(self) -> float:
+        """Per-node memory bandwidth for the LBM access pattern [B/s]."""
         return self.lbm_bandwidth * self.sockets_per_node
 
     @property
     def node_stream_bandwidth(self) -> float:
+        """Per-node STREAM copy bandwidth [B/s]."""
         return self.stream_bandwidth * self.sockets_per_node
 
     def bandwidth_at_clock(self, clock_hz: float) -> float:

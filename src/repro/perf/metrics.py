@@ -11,6 +11,7 @@ __all__ = [
     "mflups",
     "parallel_efficiency",
     "bandwidth_utilization",
+    "comm_bandwidth",
     "flops_estimate",
 ]
 
@@ -48,6 +49,19 @@ def bandwidth_utilization(
     if available_bandwidth <= 0:
         raise ValueError("bandwidth must be positive")
     return lups * bytes_per_update / available_bandwidth
+
+
+def comm_bandwidth(bytes_exchanged: float, seconds: float) -> float:
+    """Achieved communication bandwidth in bytes/s.
+
+    Derived from the timing tree's ``comm.remote_bytes`` counter over
+    the ``communication`` scope's wall seconds — the per-run analog of
+    the paper's per-message interconnect models.  Returns 0 for an
+    unrun (zero-time) scope so reports stay printable.
+    """
+    if seconds <= 0:
+        return 0.0
+    return bytes_exchanged / seconds
 
 
 def flops_estimate(lups: float, flops_per_update: float = 200.0) -> float:

@@ -124,6 +124,7 @@ class IslandTreeNetwork(NetworkModel):
         return lat + intra + inter
 
     def islands_used(self, job_nodes: int) -> int:
+        """Number of islands a job of ``job_nodes`` nodes spans."""
         return max(1, math.ceil(job_nodes / self.island_nodes))
 
 

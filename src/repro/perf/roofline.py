@@ -40,10 +40,12 @@ class RooflinePoint:
 
     @property
     def mlups(self) -> float:
+        """Bandwidth ceiling in million lattice updates per second."""
         return self.bandwidth_bytes_per_s / self.bytes_per_update / 1e6
 
     @property
     def lups(self) -> float:
+        """Bandwidth ceiling in lattice updates per second."""
         return self.bandwidth_bytes_per_s / self.bytes_per_update
 
 

@@ -80,12 +80,15 @@ class NodeConfig:
 
     @property
     def label(self) -> str:
+        """Short ``<P>P<T>T`` label used in the paper's SMT tables."""
         return f"{self.processes_per_node}P{self.threads_per_process}T"
 
     def hw_threads(self) -> int:
+        """Hardware threads occupied per node."""
         return self.processes_per_node * self.threads_per_process
 
     def smt_level(self, machine: MachineSpec) -> int:
+        """SMT level this configuration implies on ``machine`` (1, 2, 4)."""
         level = self.hw_threads() // machine.cores_per_node
         if level * machine.cores_per_node != self.hw_threads():
             raise ConfigurationError(
@@ -121,6 +124,7 @@ class FrameworkCosts:
 
     @classmethod
     def for_machine(cls, machine: MachineSpec) -> "FrameworkCosts":
+        """Calibrated per-block / per-line overheads for a machine model."""
         if machine.name == "JUQUEEN":
             return cls(per_block_s=100e-6, per_line_s=3.2e-6)
         return cls(per_block_s=25e-6, per_line_s=800e-9)
@@ -193,6 +197,7 @@ class WeakScalingPoint:
 
     @property
     def efficiency_vs(self) -> float:  # pragma: no cover - convenience
+        """Alias of :attr:`mlups_per_core` for efficiency plots."""
         return self.mlups_per_core
 
 

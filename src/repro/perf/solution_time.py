@@ -39,9 +39,11 @@ class SolutionEstimate:
 
     @property
     def wall_hours(self) -> float:
+        """Estimated wall-clock time in hours."""
         return self.wall_seconds / 3600.0
 
     def describe(self) -> str:
+        """One-line human-readable summary of the estimate."""
         return (
             f"dx = {self.dx * 1e6:.3f} um, dt = {self.dt * 1e6:.3f} us; "
             f"{self.n_steps} steps at {self.timesteps_per_second:.2f} "

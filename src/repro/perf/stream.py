@@ -10,11 +10,11 @@ same way the paper grounds its C++ kernels.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
+
+from .timing import best_of
 
 __all__ = ["StreamResult", "measure_copy_bandwidth", "measure_lbm_pattern_bandwidth"]
 
@@ -29,6 +29,7 @@ class StreamResult:
 
     @property
     def gib_per_s(self) -> float:
+        """Measured bandwidth in GiB/s."""
         return self.bandwidth_bytes_per_s / 1024**3
 
 
@@ -40,12 +41,7 @@ def measure_copy_bandwidth(
     matching STREAM's convention)."""
     a = np.random.default_rng(0).random(n_doubles)
     b = np.empty_like(a)
-    best = np.inf
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        np.copyto(b, a)
-        dt = time.perf_counter() - t0
-        best = min(best, dt)
+    best, _ = best_of(repeats, lambda: np.copyto(b, a))
     nbytes = 2 * a.nbytes
     return StreamResult(nbytes / best, nbytes, best)
 
@@ -66,12 +62,11 @@ def measure_lbm_pattern_bandwidth(
     rng = np.random.default_rng(1)
     srcs = [rng.random(n_doubles) for _ in range(n_streams)]
     dsts = [np.empty(n_doubles) for _ in range(n_streams)]
-    best = np.inf
-    for _ in range(repeats):
-        t0 = time.perf_counter()
+
+    def sweep() -> None:
         for s, d in zip(srcs, dsts):
             np.copyto(d, s)
-        dt = time.perf_counter() - t0
-        best = min(best, dt)
+
+    best, _ = best_of(repeats, sweep)
     nbytes = 2 * n_streams * srcs[0].nbytes
     return StreamResult(nbytes / best, nbytes, best)

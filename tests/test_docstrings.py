@@ -1,0 +1,72 @@
+"""Docstring hygiene: every public module, class and function in
+``repro.perf`` and ``repro.core`` must carry a docstring.
+
+The reproduction leans on its documentation to map code back to the
+paper's sections; this test keeps the two instrumented packages (the
+perf-methodology substrate and the core framework) honest.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro.core
+import repro.perf
+
+PACKAGES = (repro.core, repro.perf)
+
+
+def _iter_modules():
+    for pkg in PACKAGES:
+        yield pkg.__name__, pkg
+        for info in pkgutil.iter_modules(pkg.__path__, pkg.__name__ + "."):
+            yield info.name, importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_iter_modules())
+
+
+def _public_members(module):
+    """Classes and functions defined in (not just imported into) the
+    module, excluding private names."""
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue
+        yield name, obj
+
+
+@pytest.mark.parametrize(
+    "mod_name,module", ALL_MODULES, ids=[n for n, _ in ALL_MODULES]
+)
+def test_module_docstring(mod_name, module):
+    assert inspect.getdoc(module), f"module {mod_name} lacks a docstring"
+
+
+@pytest.mark.parametrize(
+    "mod_name,module", ALL_MODULES, ids=[n for n, _ in ALL_MODULES]
+)
+def test_public_members_documented(mod_name, module):
+    missing = []
+    for name, obj in _public_members(module):
+        if not inspect.getdoc(obj):
+            missing.append(f"{mod_name}.{name}")
+        if inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_"):
+                    continue
+                func = member
+                if isinstance(member, (staticmethod, classmethod)):
+                    func = member.__func__
+                elif isinstance(member, property):
+                    func = member.fget
+                if not inspect.isfunction(func):
+                    continue
+                if not inspect.getdoc(func):
+                    missing.append(f"{mod_name}.{name}.{mname}")
+    assert not missing, "missing docstrings: " + ", ".join(missing)
