@@ -7,6 +7,18 @@ Commands
 ``cavity``     run a lid-driven cavity and print performance
 ``coronary``   run the coronary pipeline end to end
 
+Resilience
+----------
+``--chaos <seed>`` runs the SPMD cavity over a fault-injected virtual
+MPI transport (delays, reordering, duplication, drops, stalls sampled
+deterministically from the seed), verifies the result is bit-identical
+to a fault-free baseline, and prints the injected-fault and
+recovery counters.  Adding ``--checkpoint-every N`` also schedules a
+rank crash, restarts from the last atomic checkpoint, and verifies the
+recovered state.  ``cavity``/``coronary`` accept ``--checkpoint PATH``
++ ``--checkpoint-every N`` for periodic checkpointing and ``--restart``
+to resume from the file.  See ``docs/resilience.md``.
+
 Profiling
 ---------
 ``--profile`` turns on the hierarchical timing tree (waLBerla's timing
@@ -152,6 +164,97 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _build_chaos_cavity(ranks: int):
+    """Forest + setter + params for the chaos demonstration cavity."""
+    from .balance import balance_forest
+    from .blocks import SetupBlockForest
+    from .geometry import AABB
+    from .harness.paper_case import _lid_setter
+
+    grid = (2, 1, max(1, ranks // 2))
+    forest = SetupBlockForest.create(
+        AABB((0, 0, 0), tuple(float(g) for g in grid)), grid, (6, 6, 6)
+    )
+    balance_forest(forest, ranks, strategy="morton")
+    return forest, _lid_setter(grid)
+
+
+def _cmd_chaos(args) -> int:
+    """``--chaos <seed>``: the SPMD cavity under a sampled fault schedule,
+    verified bit-identical against a fault-free baseline (plus a crash +
+    checkpoint-restart cycle when ``--checkpoint-every`` is given)."""
+    import numpy as np
+
+    from .comm import FaultInjector, FaultSpec, VirtualMPI, run_spmd_simulation
+    from .errors import RankCrashedError
+    from .lbm import NoSlip, TRT, UBB
+    from .perf.timing import TimingTree, reduce_trees
+
+    seed = args.chaos
+    ranks = args.profile_ranks
+    steps = args.profile_steps
+    forest, setter = _build_chaos_cavity(ranks)
+    bcs = [NoSlip(), UBB(velocity=(0.05, 0.0, 0.0))]
+    col = TRT.from_tau(0.65)
+    common = dict(conditions=bcs, flag_setter=setter)
+
+    baseline = run_spmd_simulation(
+        VirtualMPI(ranks), forest, col, steps, **common
+    )
+    spec = FaultSpec.sample(seed)
+    injector = FaultInjector(spec, seed)
+    trees = [TimingTree() for _ in range(ranks)]
+    result = run_spmd_simulation(
+        VirtualMPI(ranks, faults=injector), forest, col, steps,
+        timing_trees=trees, **common,
+    )
+    identical = set(result) == set(baseline) and all(
+        np.array_equal(result[k], baseline[k]) for k in baseline
+    )
+    reduced = reduce_trees(trees)
+    print(f"chaos cavity: seed {seed}, {ranks} ranks, {steps} steps")
+    print(f"  schedule: {spec}")
+    print(f"  {injector.report()}")
+    recovery = {
+        k: v for k, v in sorted(reduced.counters.items())
+        if k.startswith("comm.") and k != "comm.remote_bytes"
+    }
+    print(f"  recovery counters: {recovery}")
+    print(f"  bit-identical to fault-free baseline: {identical}")
+    ok = identical
+
+    if args.checkpoint_every:
+        import os
+        import tempfile
+
+        every = args.checkpoint_every
+        crash_step = max(every, (steps * 2) // 3)
+        ckpt = args.checkpoint or os.path.join(
+            tempfile.gettempdir(), f"repro_chaos_{seed}.npz"
+        )
+        crash_spec = spec.with_crash(rank=ranks - 1, step=crash_step)
+        try:
+            run_spmd_simulation(
+                VirtualMPI(ranks, faults=FaultInjector(crash_spec, seed)),
+                forest, col, steps,
+                checkpoint_every=every, checkpoint_path=ckpt, **common,
+            )
+            print("  crash drill: rank did not crash (unexpected)")
+            ok = False
+        except RankCrashedError as exc:
+            print(f"  crash drill: {exc}")
+            recovered = run_spmd_simulation(
+                VirtualMPI(ranks), forest, col, steps,
+                restore_from=ckpt, **common,
+            )
+            rec_ok = all(
+                np.array_equal(recovered[k], baseline[k]) for k in baseline
+            )
+            print(f"  restarted from {ckpt}: bit-identical = {rec_ok}")
+            ok = ok and rec_ok
+    return 0 if ok else 1
+
+
 def _cmd_cavity(args) -> int:
     import numpy as np
 
@@ -170,7 +273,13 @@ def _cmd_cavity(args) -> int:
     sim.add_boundary(NoSlip())
     sim.add_boundary(UBB(velocity=(0.08, 0.0, 0.0)))
     sim.finalize()
-    sim.run(args.steps)
+    done = 0
+    if args.restart:
+        done = sim.restart(args.checkpoint)
+        print(f"restarted from {args.checkpoint} at step {done}")
+    if args.checkpoint_every:
+        sim.enable_checkpointing(args.checkpoint, args.checkpoint_every)
+    sim.run(max(0, args.steps - done))
     print(
         f"cavity {n}^3, {args.steps} steps: {sim.mlups():.2f} MLUPS, "
         f"max |u| = {np.nanmax(np.abs(sim.velocity())):.4f}"
@@ -213,7 +322,13 @@ def _cmd_coronary(args) -> int:
             PressureABB(rho_w=1.0),
         ],
     )
-    sim.run(args.steps)
+    done = 0
+    if args.restart:
+        done = sim.restart(args.checkpoint)
+        print(f"restarted from {args.checkpoint} at step {done}")
+    if args.checkpoint_every:
+        sim.enable_checkpointing(args.checkpoint, args.checkpoint_every)
+    sim.run(max(0, args.steps - done))
     print(
         f"coronary tree ({tree.n_segments} segments), {forest.n_blocks} blocks "
         f"on {args.ranks} ranks, {args.steps} steps: "
@@ -261,6 +376,26 @@ def main(argv=None) -> int:
         "--profile-steps", type=int, default=30,
         help="time steps for the bare --profile run (default 30)",
     )
+    parser.add_argument(
+        "--chaos", type=int, default=None, metavar="SEED",
+        help="run the SPMD cavity under a seed-sampled fault schedule "
+        "(delays/reordering/duplication/drops/stalls) and verify the "
+        "result is bit-identical to a fault-free run; with "
+        "--checkpoint-every, also drill a rank crash + restart",
+    )
+    parser.add_argument(
+        "--checkpoint", type=str, default=None, metavar="PATH",
+        help="checkpoint file for --checkpoint-every / --restart",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="write an atomic checkpoint every N steps (cavity/coronary; "
+        "with --chaos, enables the crash-restart drill)",
+    )
+    parser.add_argument(
+        "--restart", action="store_true",
+        help="resume cavity/coronary from --checkpoint before stepping",
+    )
     sub = parser.add_subparsers(dest="command", required=False)
 
     sub.add_parser("info", help="framework and machine-model summary")
@@ -275,10 +410,27 @@ def main(argv=None) -> int:
         help="also write every series as CSV files into this directory",
     )
 
+    def _add_checkpoint_flags(p) -> None:
+        """Checkpoint flags, repeated on subparsers so they may be given
+        after the command; SUPPRESS keeps the global defaults intact."""
+        p.add_argument(
+            "--checkpoint", type=str, default=argparse.SUPPRESS, metavar="PATH",
+            help="checkpoint file path",
+        )
+        p.add_argument(
+            "--checkpoint-every", type=int, default=argparse.SUPPRESS,
+            metavar="N", help="write an atomic checkpoint every N steps",
+        )
+        p.add_argument(
+            "--restart", action="store_true", default=argparse.SUPPRESS,
+            help="resume from --checkpoint before stepping",
+        )
+
     p_cav = sub.add_parser("cavity", help="run a lid-driven cavity")
     p_cav.add_argument("--size", type=int, default=32)
     p_cav.add_argument("--steps", type=int, default=300)
     p_cav.add_argument("--vtk", type=str, default=None)
+    _add_checkpoint_flags(p_cav)
 
     p_cor = sub.add_parser("coronary", help="run the coronary pipeline")
     p_cor.add_argument("--generations", type=int, default=4)
@@ -287,12 +439,19 @@ def main(argv=None) -> int:
     p_cor.add_argument("--steps", type=int, default=50)
     p_cor.add_argument("--seed", type=int, default=0)
     p_cor.add_argument("--vtk", type=str, default=None)
+    _add_checkpoint_flags(p_cor)
 
     args = parser.parse_args(argv)
+    if (args.checkpoint_every or args.restart) and args.command in (
+        "cavity", "coronary",
+    ) and not args.checkpoint:
+        parser.error("--checkpoint-every/--restart need --checkpoint PATH")
     if args.command is None:
+        if args.chaos is not None:
+            return _cmd_chaos(args)
         if args.profile:
             return _cmd_profile(args)
-        parser.error("a command is required unless --profile is given")
+        parser.error("a command is required unless --profile or --chaos is given")
     handlers = {
         "info": _cmd_info,
         "figures": _cmd_figures,

@@ -1,5 +1,6 @@
-"""Parallel substrate: virtual MPI, ghost-layer exchange, and the
-distributed multi-block simulation driver."""
+"""Parallel substrate: virtual MPI (with deterministic fault injection
+and a resilient sequence-numbered protocol layer), ghost-layer exchange,
+and the distributed multi-block simulation driver."""
 
 from .distributed import (
     BlockRuntime,
@@ -7,22 +8,31 @@ from .distributed import (
     build_block_runtime,
     default_vascular_colors,
 )
+from .faults import FaultInjector, FaultSpec
 from .spmd import run_spmd_simulation, spmd_rank_program
 from .ghostlayer import (
     CommStats,
     CopySpec,
     GhostExchange,
+    RankGhostPlan,
+    SpmdGhostExchange,
+    build_rank_plan,
     ghost_slices,
+    message_tag,
     needed_directions,
+    offset_code,
     send_slices,
 )
-from .vmpi import Comm, Request, VirtualMPI
+from .vmpi import Comm, ReliableComm, Request, VirtualMPI
 
 __all__ = [
     "BlockRuntime", "DistributedSimulation", "build_block_runtime",
     "default_vascular_colors",
+    "FaultInjector", "FaultSpec",
     "run_spmd_simulation", "spmd_rank_program",
     "CommStats", "CopySpec", "GhostExchange", "ghost_slices",
     "needed_directions", "send_slices",
-    "Comm", "Request", "VirtualMPI",
+    "RankGhostPlan", "SpmdGhostExchange", "build_rank_plan",
+    "message_tag", "offset_code",
+    "Comm", "ReliableComm", "Request", "VirtualMPI",
 ]

@@ -14,6 +14,7 @@ boundaries, feeding the communication-time models in :mod:`repro.perf`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -28,9 +29,14 @@ __all__ = [
     "ghost_slices",
     "send_slices",
     "needed_directions",
+    "offset_code",
+    "message_tag",
     "CopySpec",
     "CommStats",
     "GhostExchange",
+    "RankGhostPlan",
+    "build_rank_plan",
+    "SpmdGhostExchange",
 ]
 
 
@@ -82,6 +88,131 @@ def ghost_slices(offset: Tuple[int, int, int]) -> Tuple[slice, ...]:
         else:
             out.append(slice(1, -1))
     return tuple(out)
+
+
+def offset_code(offset: Tuple[int, int, int]) -> int:
+    """0..26 code of a neighbor offset (used in message tags)."""
+    return (offset[0] + 1) * 9 + (offset[1] + 1) * 3 + (offset[2] + 1)
+
+
+def message_tag(dst_root_index: int, offset: Tuple[int, int, int]) -> int:
+    """Message tag for a ghost-region update: which destination block's
+    ghost region is refreshed, and from which side."""
+    return dst_root_index * 27 + offset_code(offset)
+
+
+@dataclass(frozen=True)
+class RankGhostPlan:
+    """One rank's precomputed ghost-exchange communication plan.
+
+    ``sends``/``recvs`` entries are ``(peer_rank, tag, block_id,
+    slices)``; ``local_copies`` entries are ``(dst_block_id, ghost_sl,
+    src_block_id, src_sl)`` for neighbor pairs owned by the same rank.
+    The plan is fixed for the lifetime of the run — only payloads move.
+    """
+
+    sends: Tuple[Tuple[int, int, object, tuple], ...]
+    recvs: Tuple[Tuple[int, int, object, tuple], ...]
+    local_copies: Tuple[Tuple[object, tuple, object, tuple], ...]
+
+
+def build_rank_plan(view, rank: int) -> RankGhostPlan:
+    """Build the send/recv/local-copy plan for one rank's block view.
+
+    For every neighbor ``n`` of a local block at offset ``off``, the
+    block's ghost region on side ``off`` is fed by the neighbor's
+    interior face toward us (its send region for direction ``-off``);
+    symmetrically the neighbor needs our face toward it, tagged from its
+    perspective (we sit at offset ``-off``).
+    """
+    sends: List[Tuple[int, int, object, tuple]] = []
+    recvs: List[Tuple[int, int, object, tuple]] = []
+    local_copies: List[Tuple[object, tuple, object, tuple]] = []
+    for blk in view.blocks:
+        for n in blk.neighbors:
+            off = n.offset
+            ghost_sl = (slice(None),) + ghost_slices(off)
+            src_sl = (slice(None),) + send_slices(tuple(-o for o in off))
+            if n.owner == rank:
+                local_copies.append((blk.id, ghost_sl, n.id, src_sl))
+            else:
+                recvs.append(
+                    (n.owner, message_tag(blk.id.root_index, off), blk.id, ghost_sl)
+                )
+                my_send_sl = (slice(None),) + send_slices(off)
+                sends.append(
+                    (
+                        n.owner,
+                        message_tag(n.id.root_index, tuple(-o for o in off)),
+                        blk.id,
+                        my_send_sl,
+                    )
+                )
+    return RankGhostPlan(tuple(sends), tuple(recvs), tuple(local_copies))
+
+
+class SpmdGhostExchange:
+    """Executes a :class:`RankGhostPlan` by explicit message passing.
+
+    ``comm`` may be a plain :class:`~repro.comm.vmpi.Comm` or a
+    :class:`~repro.comm.vmpi.ReliableComm`; with the latter, every
+    message carries a sequence number, duplicates are discarded, and
+    dropped or delayed messages are recovered by timeout/retransmit with
+    backoff — the exchange result is then bit-identical under any
+    non-crash fault schedule.  ``fields`` maps block id to an object
+    with a ``src`` grid (a :class:`~repro.core.field.PdfField` works).
+
+    Each call fires all sends, performs the same-rank direct copies,
+    then drains the expected receives; with ``tree`` set the three
+    stages are timed as ``pack+send`` / ``local copy`` / ``recv+unpack``
+    sub-scopes under the caller's ``communication`` sweep.
+    """
+
+    def __init__(
+        self,
+        plan: RankGhostPlan,
+        fields: Dict[object, "PdfField"],
+        comm,
+        tree: Optional[TimingTree] = None,
+    ):
+        for _, _, block_id, _ in plan.sends + plan.recvs:
+            if block_id not in fields:
+                raise CommunicationError(
+                    f"ghost plan references unknown block {block_id}"
+                )
+        self.plan = plan
+        self.fields = fields
+        self.comm = comm
+        self.tree = tree
+
+    def _scope(self, name: str):
+        return self.tree.scoped(name) if self.tree is not None else nullcontext()
+
+    def exchange(self) -> int:
+        """Run one full ghost exchange; returns bytes sent to other ranks."""
+        plan = self.plan
+        fields = self.fields
+        comm = self.comm
+        sent_bytes = 0
+        with self._scope("pack+send"):
+            for dest, tag, block_id, sl in plan.sends:
+                payload = np.ascontiguousarray(fields[block_id].src[sl])
+                sent_bytes += payload.nbytes
+                comm.send(payload, dest=dest, tag=tag)
+        with self._scope("local copy"):
+            for block_id, ghost_sl, src_id, src_sl in plan.local_copies:
+                fields[block_id].src[ghost_sl] = fields[src_id].src[src_sl]
+        with self._scope("recv+unpack"):
+            for source, tag, block_id, ghost_sl in plan.recvs:
+                data = comm.recv(source=source, tag=tag)
+                region = fields[block_id].src[ghost_sl]
+                if data.shape != region.shape:
+                    raise CommunicationError(
+                        f"ghost region shape mismatch: got {data.shape}, "
+                        f"expected {region.shape}"
+                    )
+                region[...] = data
+        return sent_bytes
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,20 @@ exchanges ghost regions with neighboring ranks through explicit
 communicator, and steps its blocks.  The tests assert the result is
 bit-identical to the direct-copy driver — the strongest possible check
 that the communication pattern is right.
+
+Resilience
+----------
+By default the ghost exchange runs over
+:class:`~repro.comm.vmpi.ReliableComm` — sequence-numbered, idempotent
+messages with timeout/retransmit recovery — so the program survives any
+delay/reorder/duplicate/drop schedule of an attached
+:class:`~repro.comm.faults.FaultInjector` bit-identically
+(``tests/chaos/`` samples such schedules).  ``checkpoint_every`` writes
+periodic atomic state checkpoints (ranks gather their block PDFs to
+rank 0, which writes via :func:`repro.io.checkpoint.write_state`); after
+a fault-injected rank crash aborts the run with
+:class:`~repro.errors.RankCrashedError`, ``restore_from`` resumes from
+the last checkpoint to the exact state an uninterrupted run reaches.
 """
 
 from __future__ import annotations
@@ -22,7 +36,7 @@ import numpy as np
 from ..blocks.forest import LocalBlock, view_for_rank
 from ..blocks.setup import SetupBlockForest
 from ..core.flags import FlagField
-from ..errors import CommunicationError
+from ..errors import CommunicationError, ConfigurationError
 from ..geometry.implicit import ImplicitGeometry
 from ..geometry.voxelize import ColorMap
 from ..lbm.boundary import Condition
@@ -30,22 +44,62 @@ from ..lbm.collision import SRT, TRT
 from ..lbm.lattice import D3Q19, LatticeModel
 from ..perf.timing import TimingTree
 from .distributed import BlockRuntime, build_block_runtime
-from .ghostlayer import ghost_slices, send_slices
-from .vmpi import Comm, VirtualMPI
+from .ghostlayer import SpmdGhostExchange, build_rank_plan
+from .vmpi import Comm, ReliableComm, VirtualMPI
 
 __all__ = ["run_spmd_simulation", "spmd_rank_program"]
 
 Collision = Union[SRT, TRT]
 
 
-def _offset_code(offset: Tuple[int, int, int]) -> int:
-    """0..26 code of a neighbor offset."""
-    return (offset[0] + 1) * 9 + (offset[1] + 1) * 3 + (offset[2] + 1)
+def _write_rank0_checkpoint(
+    comm: Comm,
+    runtimes: Dict[object, "BlockRuntime"],
+    path: str,
+    step: int,
+) -> None:
+    """Collective: gather every rank's block PDFs to rank 0, which
+    writes one atomic checkpoint file tagged with ``step``."""
+    from ..io.checkpoint import write_state
+
+    shard = {str(bid): rt.field.src for bid, rt in runtimes.items()}
+    gathered = comm.gather(shard, root=0)
+    if comm.rank == 0:
+        arrays = {
+            f"pdf:{key}": arr
+            for rank_shard in gathered
+            for key, arr in rank_shard.items()
+        }
+        write_state(path, arrays, step=step)
 
 
-def _tag(dst_root_index: int, offset: Tuple[int, int, int]) -> int:
-    """Message tag: which block's ghost region (from which side)."""
-    return dst_root_index * 27 + _offset_code(offset)
+def _restore_from_checkpoint(
+    comm: Comm, runtimes: Dict[object, "BlockRuntime"], path: str
+) -> int:
+    """Collective: rank 0 reads the checkpoint, broadcasts it, every
+    rank restores its own blocks; returns the checkpointed step."""
+    from ..io.checkpoint import read_state
+
+    payload = None
+    if comm.rank == 0:
+        arrays, step, _rng = read_state(path)
+        payload = (arrays, step)
+    arrays, step = comm.bcast(payload, root=0)
+    for bid, rt in runtimes.items():
+        key = f"pdf:{bid}"
+        if key not in arrays:
+            raise CommunicationError(
+                f"checkpoint {path} lacks block {bid} owned by rank {comm.rank}"
+            )
+        arr = arrays[key]
+        if arr.shape != rt.field.src.shape:
+            raise CommunicationError(
+                f"checkpoint block {bid}: shape {arr.shape} != "
+                f"{rt.field.src.shape}"
+            )
+        rt.field.src[...] = arr
+        rt.field.dst[...] = arr
+    return int(step)
 
 
 def spmd_rank_program(
@@ -59,17 +113,35 @@ def spmd_rank_program(
     colors: Optional[ColorMap] = None,
     model: LatticeModel = D3Q19,
     tree: Optional[TimingTree] = None,
+    resilient: bool = True,
+    retry_timeout: float = 0.05,
+    max_retries: int = 10,
+    checkpoint_every: int = 0,
+    checkpoint_path: Optional[str] = None,
+    restore_from: Optional[str] = None,
 ) -> Dict[object, np.ndarray]:
     """One rank's complete simulation: build local blocks, exchange
     ghosts by message passing, step, and return the final interior PDFs
     of the local blocks (keyed by block id).
 
     ``tree`` enables per-rank timing: communication (with pack+send /
-    local copy / recv+unpack sub-scopes), boundary, kernel, swap and the
-    per-step sync barrier each get a scope, and cell/byte counters are
-    accumulated — reduce the per-rank trees afterwards with
-    :func:`~repro.perf.timing.reduce_trees` (or in-band with
-    :func:`~repro.perf.timing.reduce_over_comm`)."""
+    local copy / recv+unpack sub-scopes), boundary, kernel, swap, the
+    per-step sync barrier, and checkpoint writes each get a scope, and
+    cell/byte counters (plus the resilient layer's ``comm.timeouts`` /
+    ``comm.retransmits`` / ``comm.duplicates_dropped`` recovery
+    counters) are accumulated — reduce the per-rank trees afterwards
+    with :func:`~repro.perf.timing.reduce_trees`.
+
+    ``resilient`` routes the ghost exchange through
+    :class:`~repro.comm.vmpi.ReliableComm` (sequence numbers, dedup,
+    timeout/retransmit with backoff); disable only for overhead
+    benchmarking on a known-perfect transport.  ``checkpoint_every`` /
+    ``checkpoint_path`` write an atomic global checkpoint every N
+    completed steps; ``restore_from`` resumes a previous run from such
+    a file (bit-identically).
+    """
+    if checkpoint_every > 0 and not checkpoint_path:
+        raise ConfigurationError("checkpoint_every needs a checkpoint_path")
     view = view_for_rank(forest, comm.rank)
     runtimes: Dict[object, BlockRuntime] = {}
     local: Dict[object, LocalBlock] = {}
@@ -81,34 +153,20 @@ def spmd_rank_program(
         )
         local[blk.id] = blk
 
-    # Precompute the communication plan.
-    sends: List[Tuple[int, int, object, tuple]] = []   # (dest, tag, block, sl)
-    recvs: List[Tuple[int, int, object, tuple]] = []   # (source, tag, block, sl)
-    local_copies: List[Tuple[object, tuple, object, tuple]] = []
-    for blk in view.blocks:
-        for n in blk.neighbors:
-            off = n.offset
-            ghost_sl = (slice(None),) + ghost_slices(off)
-            # The data this block needs comes from the neighbor's face
-            # toward us, i.e. its send region for direction -off.
-            src_sl = (slice(None),) + send_slices(tuple(-o for o in off))
-            if n.owner == comm.rank:
-                local_copies.append((blk.id, ghost_sl, n.id, src_sl))
-            else:
-                recvs.append(
-                    (n.owner, _tag(blk.id.root_index, off), blk.id, ghost_sl)
-                )
-                # Symmetrically, the neighbor needs our face toward it:
-                # from its perspective we sit at offset -off.
-                my_send_sl = (slice(None),) + send_slices(off)
-                sends.append(
-                    (
-                        n.owner,
-                        _tag(n.id.root_index, tuple(-o for o in off)),
-                        blk.id,
-                        my_send_sl,
-                    )
-                )
+    # Precompute the communication plan and bind the exchange executor.
+    plan = build_rank_plan(view, comm.rank)
+    channel = (
+        ReliableComm(
+            comm, retry_timeout=retry_timeout, max_retries=max_retries,
+            tree=tree,
+        )
+        if resilient
+        else comm
+    )
+    ghost = SpmdGhostExchange(
+        plan, {bid: rt.field for bid, rt in runtimes.items()}, channel,
+        tree=tree,
+    )
 
     def scope(name: str):
         return tree.scoped(name) if tree is not None else nullcontext()
@@ -121,30 +179,19 @@ def spmd_rank_program(
     )
     fluid_per_step = sum(blk.fluid_cells for blk in local.values())
 
-    for _ in range(int(steps)):
+    start_step = 0
+    if restore_from is not None:
+        start_step = _restore_from_checkpoint(comm, runtimes, restore_from)
+
+    for step in range(start_step, int(steps)):
+        # Fault-schedule boundary: scheduled stalls/crashes fire here.
+        if resilient:
+            channel.begin_step(step)
+        else:
+            comm.fault_tick(step)
         # 1. communication: fire all sends, then drain the expected recvs.
         with scope("communication"):
-            with scope("pack+send"):
-                sent_bytes = 0
-                for dest, tag, block_id, sl in sends:
-                    payload = np.ascontiguousarray(runtimes[block_id].field.src[sl])
-                    sent_bytes += payload.nbytes
-                    comm.send(payload, dest=dest, tag=tag)
-            with scope("local copy"):
-                for block_id, ghost_sl, src_id, src_sl in local_copies:
-                    runtimes[block_id].field.src[ghost_sl] = (
-                        runtimes[src_id].field.src[src_sl]
-                    )
-            with scope("recv+unpack"):
-                for source, tag, block_id, ghost_sl in recvs:
-                    data = comm.recv(source=source, tag=tag)
-                    region = runtimes[block_id].field.src[ghost_sl]
-                    if data.shape != region.shape:
-                        raise CommunicationError(
-                            f"ghost region shape mismatch: got {data.shape}, "
-                            f"expected {region.shape}"
-                        )
-                    region[...] = data
+            sent_bytes = ghost.exchange()
         # 2./3./4. boundary handling, kernel, swap — per local block.
         if tree is None:
             for rt in runtimes.values():
@@ -166,6 +213,12 @@ def spmd_rank_program(
             tree.add_counter("cells_updated", cells_per_step)
             tree.add_counter("fluid_cell_updates", fluid_per_step)
             tree.add_counter("comm.remote_bytes", sent_bytes)
+        # Periodic checkpoint: collective gather + atomic rank-0 write.
+        if checkpoint_every > 0 and (step + 1) % checkpoint_every == 0:
+            with scope("checkpoint"):
+                _write_rank0_checkpoint(
+                    comm, runtimes, checkpoint_path, step + 1
+                )
         # Keep ranks in lockstep (mirrors waLBerla's per-step sync).
         with scope("sync"):
             comm.barrier()
@@ -187,6 +240,12 @@ def run_spmd_simulation(
     colors: Optional[ColorMap] = None,
     model: LatticeModel = D3Q19,
     timing_trees: Optional[Sequence[TimingTree]] = None,
+    resilient: bool = True,
+    retry_timeout: float = 0.05,
+    max_retries: int = 10,
+    checkpoint_every: int = 0,
+    checkpoint_path: Optional[str] = None,
+    restore_from: Optional[str] = None,
 ) -> Dict[object, np.ndarray]:
     """Run the SPMD program on every virtual rank and merge the results.
 
@@ -196,6 +255,14 @@ def run_spmd_simulation(
     ``timing_trees`` — one :class:`~repro.perf.timing.TimingTree` per
     rank — turns on per-rank sweep/sub-scope timing; reduce them
     afterwards with :func:`~repro.perf.timing.reduce_trees`.
+
+    Resilience knobs (``resilient``, ``retry_timeout``, ``max_retries``,
+    ``checkpoint_every``/``checkpoint_path``, ``restore_from``) are
+    forwarded to :func:`spmd_rank_program`; attach a
+    :class:`~repro.comm.faults.FaultInjector` to ``world`` to exercise
+    them under chaos.  A fault-injected crash raises
+    :class:`~repro.errors.RankCrashedError` out of this call; restart by
+    calling again with ``restore_from`` pointing at the last checkpoint.
     """
     if world.size != forest.n_processes:
         raise CommunicationError(
@@ -215,6 +282,12 @@ def run_spmd_simulation(
             geometry=geometry, flag_setter=flag_setter, colors=colors,
             model=model,
             tree=timing_trees[comm.rank] if timing_trees is not None else None,
+            resilient=resilient,
+            retry_timeout=retry_timeout,
+            max_retries=max_retries,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            restore_from=restore_from,
         )
 
     per_rank = world.run(program)

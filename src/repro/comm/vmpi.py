@@ -8,19 +8,40 @@ process.  It is a *correctness* substrate: the distributed algorithms in
 :mod:`repro.blocks` and :mod:`repro.comm` run unmodified SPMD logic on
 it at small rank counts; machine-scale behaviour is modeled separately
 in :mod:`repro.perf`.
+
+Resilience
+----------
+The transport can be made deliberately unreliable by attaching a
+:class:`~repro.comm.faults.FaultInjector` (``VirtualMPI(size,
+faults=...)``), which delays, reorders, duplicates, or drops messages
+and stalls or crashes ranks on a deterministic seed-driven schedule.
+:class:`ReliableComm` is the matching protocol layer: every message is
+wrapped in a ``(sequence, step, payload)`` envelope, receives are
+deduplicated by sequence number and retried with exponential backoff
+against a shared retransmission ledger, so ghost-layer exchange survives
+any non-crash schedule bit-identically.  See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
-import queue
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..errors import CommunicationError
+from ..errors import (
+    CommunicationError,
+    RankCrashedError,
+    RecvTimeoutError,
+    RetryExhaustedError,
+)
 
-__all__ = ["VirtualMPI", "Comm", "Request"]
+__all__ = ["VirtualMPI", "Comm", "ReliableComm", "Request"]
 
 _ANY = object()
+
+
+class _AbortError(CommunicationError):
+    """The run was aborted by another rank's failure (secondary error)."""
 
 
 class _Mailbox:
@@ -29,10 +50,17 @@ class _Mailbox:
     def __init__(self):
         self._cond = threading.Condition()
         self._messages: List[Tuple[int, int, Any]] = []
+        self._aborted = False
 
     def put(self, source: int, tag: int, payload: Any) -> None:
         with self._cond:
             self._messages.append((source, tag, payload))
+            self._cond.notify_all()
+
+    def abort(self) -> None:
+        """Wake and fail all current and future waiters (run teardown)."""
+        with self._cond:
+            self._aborted = True
             self._cond.notify_all()
 
     def peek(self, source: Any, tag: Any) -> bool:
@@ -43,7 +71,16 @@ class _Mailbox:
             return False
 
     def get(self, source: Any, tag: Any, timeout: float) -> Tuple[int, int, Any]:
-        deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+        """Pop the first matching message, waiting up to ``timeout``.
+
+        The timeout is a *monotonic deadline*, not a per-wakeup wait:
+        spurious or non-matching wakeups (another message arriving,
+        ``notify_all`` from an unrelated put) re-wait only for the
+        remaining time, so the call never outlives ``now + timeout``.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
 
         def match():
             for i, (s, t, _) in enumerate(self._messages):
@@ -52,21 +89,33 @@ class _Mailbox:
             return None
 
         with self._cond:
-            idx = match()
-            while idx is None:
-                if not self._cond.wait(timeout=deadline):
-                    raise CommunicationError(
-                        f"recv timed out waiting for source={source} tag={tag}"
-                    )
+            while True:
+                if self._aborted:
+                    raise _AbortError("virtual MPI run aborted")
                 idx = match()
-            return self._messages.pop(idx)
+                if idx is not None:
+                    return self._messages.pop(idx)
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    raise RecvTimeoutError(
+                        f"recv timed out after {timeout}s waiting for "
+                        f"source={source} tag={tag}"
+                    )
 
 
 class Request:
     """Handle for a non-blocking operation (mpi4py ``Request`` style)."""
 
-    def __init__(self, resolve: Callable[[], Any]):
+    def __init__(
+        self,
+        resolve: Callable[[], Any],
+        probe: Optional[Callable[[], bool]] = None,
+    ):
         self._resolve = resolve
+        self._probe = probe
         self._done = False
         self._value: Any = None
 
@@ -77,12 +126,20 @@ class Request:
         return self._value
 
     def test(self) -> Tuple[bool, Any]:
-        """Non-destructive completion check is not meaningful for the
-        in-memory transport (sends complete immediately); provided for
-        API compatibility."""
+        """Non-blocking completion probe (mpi4py semantics).
+
+        Returns ``(True, value)`` if the operation is complete — for a
+        pending receive this first checks, without blocking, whether a
+        matching message is already waiting (via the mailbox ``peek``)
+        and completes the receive only then.  Returns ``(False, None)``
+        when no matching message has arrived yet; the operation stays
+        pending and no message is consumed.
+        """
         if self._done:
             return True, self._value
-        return False, None
+        if self._probe is not None and not self._probe():
+            return False, None
+        return True, self.wait()
 
 
 class Comm:
@@ -108,11 +165,21 @@ class Comm:
     # -- point to point -----------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         self._parent._check_rank(dest)
-        self._parent._mailboxes[dest].put(self.rank, tag, obj)
+        faults = self._parent.faults
+        if faults is None:
+            self._parent._mailboxes[dest].put(self.rank, tag, obj)
+            return
+        for d, (src, t, payload) in faults.on_send(self.rank, dest, tag, obj):
+            self._parent._mailboxes[d].put(src, t, payload)
 
-    def recv(self, source: Any = _ANY, tag: Any = _ANY) -> Any:
+    def recv(
+        self, source: Any = _ANY, tag: Any = _ANY,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Blocking receive; ``timeout`` overrides the world default."""
         _, _, payload = self._parent._mailboxes[self.rank].get(
-            source, tag, self._parent.timeout
+            source, tag,
+            self._parent.timeout if timeout is None else timeout,
         )
         return payload
 
@@ -126,8 +193,12 @@ class Comm:
 
     def irecv(self, source: Any = _ANY, tag: Any = _ANY) -> Request:
         """Non-blocking receive: the matching message is consumed when
-        :meth:`Request.wait` is called."""
-        return Request(lambda: self.recv(source, tag))
+        :meth:`Request.wait` succeeds or :meth:`Request.test` reports
+        completion."""
+        return Request(
+            lambda: self.recv(source, tag),
+            probe=lambda: self.iprobe(source, tag),
+        )
 
     def iprobe(self, source: Any = _ANY, tag: Any = _ANY) -> bool:
         """True if a matching message is already waiting."""
@@ -137,8 +208,27 @@ class Comm:
         self.send(obj, dest, tag)
         return self.recv(source, tag)
 
+    # -- fault-schedule hooks ----------------------------------------------
+    def fault_tick(self, step: int) -> None:
+        """Notify the fault injector (if any) of a time-step boundary.
+
+        May sleep (stall injection) or raise
+        :class:`~repro.errors.RankCrashedError` on the rank's scheduled
+        crash step; a no-op on a fault-free world.
+        """
+        faults = self._parent.faults
+        if faults is not None:
+            faults.on_step(self.rank, step)
+
+    def _flush_faults(self) -> None:
+        faults = self._parent.faults
+        if faults is not None:
+            for d, (src, t, payload) in faults.flush(self.rank):
+                self._parent._mailboxes[d].put(src, t, payload)
+
     # -- collectives ----------------------------------------------------------
     def barrier(self) -> None:
+        self._flush_faults()
         self._parent._barrier.wait(timeout=self._parent.timeout)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
@@ -213,6 +303,144 @@ class Comm:
         return [matrix[src][self.rank] for src in range(self.size)]
 
 
+class ReliableComm:
+    """Sequence-numbered, deduplicating, retrying wrapper around a point-
+    to-point channel — the idempotent message layer that makes ghost
+    exchange survive delay, reordering, duplication, and drop faults.
+
+    Protocol
+    --------
+    Every :meth:`send` wraps the payload in ``(seq, step, payload)``
+    where ``seq`` increments per ``(source, dest, tag)`` channel, and
+    records the envelope in a retransmission ledger shared through the
+    parent world (the in-process analog of a sender-side retransmit
+    buffer).  :meth:`recv` accepts exactly the next expected sequence
+    number: stale duplicates are discarded, a timeout first consults the
+    ledger (a retransmission), then backs off exponentially; after
+    ``max_retries`` timeouts it raises
+    :class:`~repro.errors.RetryExhaustedError`.
+
+    Recovery activity is counted — ``comm.timeouts``,
+    ``comm.retransmits``, ``comm.duplicates_dropped``,
+    ``comm.seq_messages`` — into :attr:`counters` and, when ``tree`` is
+    given, into the rank's :class:`~repro.perf.timing.TimingTree`
+    counters so recovery cost shows up next to the sweep timings.
+
+    On a fault-free world the per-message overhead is one small tuple,
+    two dict updates, and a sequence compare — bounded at <5 % of a
+    d3q19 ghost-layer exchange by ``benchmarks/bench_chaos_overhead.py``.
+    """
+
+    def __init__(
+        self,
+        comm: Comm,
+        retry_timeout: float = 0.05,
+        max_retries: int = 10,
+        backoff: float = 2.0,
+        max_timeout: float = 2.0,
+        tree=None,
+    ):
+        if retry_timeout <= 0 or max_retries < 1 or backoff < 1.0:
+            raise CommunicationError(
+                "retry_timeout must be > 0, max_retries >= 1, backoff >= 1"
+            )
+        self.comm = comm
+        self.retry_timeout = float(retry_timeout)
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.max_timeout = float(max_timeout)
+        self.tree = tree
+        self.counters: Dict[str, int] = {}
+        self._step = 0
+        self._send_seq: Dict[Tuple[int, int], int] = {}
+        self._recv_seq: Dict[Tuple[int, int], int] = {}
+
+    # -- bookkeeping --------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    def _count(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+        if self.tree is not None:
+            self.tree.add_counter(name, value)
+
+    def begin_step(self, step: int) -> None:
+        """Tag subsequent envelopes with ``step`` (for diagnostics) and
+        run the fault injector's step hook (stall/crash schedule)."""
+        self._step = int(step)
+        self.comm.fault_tick(step)
+
+    # -- reliable point-to-point -------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send with a sequence-numbered envelope + retransmission ledger."""
+        key = (dest, tag)
+        seq = self._send_seq.get(key, 0) + 1
+        self._send_seq[key] = seq
+        envelope = (seq, self._step, obj)
+        # Single dict assignment of an immutable tuple: atomic under the
+        # GIL, and each (src, dst, tag) key has exactly one writer (this
+        # rank), so the ledger needs no lock on the send hot path.
+        self.comm._parent._ledger[(self.comm.rank, dest, tag)] = envelope
+        self._count("comm.seq_messages")
+        self.comm.send(envelope, dest, tag)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Receive the next in-sequence message from ``(source, tag)``.
+
+        Deduplicates stale deliveries, recovers dropped messages from
+        the retransmission ledger, and retries with exponential backoff
+        on timeouts.
+        """
+        if source is _ANY or tag is _ANY:
+            raise CommunicationError(
+                "ReliableComm.recv needs a concrete source and tag"
+            )
+        chan = (source, tag)
+        expected = self._recv_seq.get(chan, 0) + 1
+        timeout = self.retry_timeout
+        attempts = 0
+        parent = self.comm._parent
+        while True:
+            try:
+                seq, _step, payload = self.comm.recv(source, tag, timeout=timeout)
+            except RecvTimeoutError:
+                attempts += 1
+                self._count("comm.timeouts")
+                envelope = parent._ledger.get((source, self.comm.rank, tag))
+                if envelope is not None and envelope[0] == expected:
+                    self._count("comm.retransmits")
+                    payload = envelope[2]
+                    break
+                if attempts > self.max_retries:
+                    raise RetryExhaustedError(
+                        f"rank {self.comm.rank}: no message from source="
+                        f"{source} tag={tag} (seq {expected}) after "
+                        f"{attempts} attempts"
+                    )
+                timeout = min(timeout * self.backoff, self.max_timeout)
+                continue
+            if seq < expected:          # duplicate or stale delayed copy
+                self._count("comm.duplicates_dropped")
+                continue
+            if seq > expected:          # cannot happen in lockstep exchange
+                raise CommunicationError(
+                    f"rank {self.comm.rank}: sequence gap on channel "
+                    f"{chan}: got {seq}, expected {expected}"
+                )
+            break
+        self._recv_seq[chan] = expected
+        return payload
+
+    # -- passthrough --------------------------------------------------------
+    def barrier(self) -> None:
+        self.comm.barrier()
+
+    def __getattr__(self, name: str) -> Any:
+        # Collectives and metadata fall through to the wrapped Comm.
+        return getattr(self.comm, name)
+
+
 class VirtualMPI:
     """Run SPMD programs on virtual ranks (one thread each).
 
@@ -224,17 +452,25 @@ class VirtualMPI:
             return comm.allreduce(comm.rank, op=lambda a, b: a + b)
 
         results = world.run(program)   # [6, 6, 6, 6]
+
+    ``faults`` attaches a :class:`~repro.comm.faults.FaultInjector`; the
+    injector is reset at the start of every :meth:`run`, so the fault
+    schedule of each program is a pure function of its seed.
     """
 
-    def __init__(self, size: int, timeout: float = 60.0):
+    def __init__(self, size: int, timeout: float = 60.0, faults=None):
         if size < 1:
             raise CommunicationError("need at least one rank")
         self.size = size
         self.timeout = timeout
+        self.faults = faults
         self._mailboxes = [_Mailbox() for _ in range(size)]
         self._barrier = threading.Barrier(size)
         self._collectives: Dict[str, Dict] = {}
         self._coll_lock = threading.Lock()
+        # Retransmission ledger: last envelope per (src, dst, tag)
+        # channel.  One writer per key + GIL-atomic dict ops == no lock.
+        self._ledger: Dict[Tuple[int, int, int], Tuple[int, int, Any]] = {}
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.size:
@@ -248,22 +484,36 @@ class VirtualMPI:
         with self._coll_lock:
             self._collectives.pop(name, None)
 
+    def _abort(self) -> None:
+        """Unblock every rank after a failure: break the barrier and
+        fail all mailbox waits."""
+        self._barrier.abort()
+        for mb in self._mailboxes:
+            mb.abort()
+
     def run(self, program: Callable[[Comm], Any]) -> List[Any]:
         """Execute ``program(comm)`` on every rank; returns per-rank results.
 
-        Any rank raising aborts the run and re-raises the first error in
-        the caller's thread (other ranks are unblocked via broken
-        barriers / timeouts).
+        Any rank raising aborts the run (other ranks are unblocked via
+        broken barriers and aborted mailboxes) and re-raises in the
+        caller's thread.  A :class:`~repro.errors.RankCrashedError`
+        (fault-injected crash) or :class:`~repro.errors.RetryExhaustedError`
+        (reliable-protocol give-up) is re-raised as-is so chaos harnesses
+        can catch the typed outcome and restart from a checkpoint; other
+        primary errors are wrapped in
+        :class:`~repro.errors.CommunicationError`.
         """
         results: List[Any] = [None] * self.size
         errors: List[Optional[BaseException]] = [None] * self.size
+        if self.faults is not None:
+            self.faults.reset()
 
         def worker(rank: int):
             try:
                 results[rank] = program(Comm(rank, self))
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 errors[rank] = exc
-                self._barrier.abort()
+                self._abort()
 
         threads = [
             threading.Thread(target=worker, args=(r,), daemon=True)
@@ -273,13 +523,25 @@ class VirtualMPI:
             t.start()
         for t in threads:
             t.join(timeout=self.timeout * 2)
-        for r, exc in enumerate(errors):
-            if exc is not None and not isinstance(exc, threading.BrokenBarrierError):
+        try:
+            # Crashes first (typed, restartable), then genuine failures;
+            # _AbortError / BrokenBarrierError are secondary casualties
+            # of someone else's failure and never mask the primary one.
+            for exc in errors:
+                if isinstance(exc, (RankCrashedError, RetryExhaustedError)):
+                    raise exc
+            for r, exc in enumerate(errors):
+                if exc is None or isinstance(
+                    exc, (threading.BrokenBarrierError, _AbortError)
+                ):
+                    continue
                 raise CommunicationError(f"rank {r} failed: {exc!r}") from exc
-        if any(t.is_alive() for t in threads):
-            raise CommunicationError("virtual MPI program did not terminate")
-        # Fresh state for the next program.
-        self._barrier = threading.Barrier(self.size)
-        self._collectives = {}
-        self._mailboxes = [_Mailbox() for _ in range(self.size)]
+            if any(t.is_alive() for t in threads):
+                raise CommunicationError("virtual MPI program did not terminate")
+        finally:
+            # Fresh state for the next program.
+            self._barrier = threading.Barrier(self.size)
+            self._collectives = {}
+            self._mailboxes = [_Mailbox() for _ in range(self.size)]
+            self._ledger = {}
         return results

@@ -212,6 +212,30 @@ class Simulation:
             raise ConfigurationError("finalize() before timing_report()")
         return self.timeloop.timing_report()
 
+    # -- checkpoint / restart -------------------------------------------------
+    def enable_checkpointing(self, path: str, every: int, rng=None) -> "Simulation":
+        """Write an atomic checkpoint (PDFs + flags + step + optional RNG
+        state) to ``path`` every ``every`` completed steps; see
+        :mod:`repro.io.checkpoint` and ``docs/resilience.md``."""
+        if not self._finalized:
+            raise ConfigurationError("call finalize() before checkpointing")
+        from ..io.checkpoint import save_checkpoint
+
+        self.timeloop.configure_checkpoint(
+            lambda _step: save_checkpoint(self, path, rng=rng), every
+        )
+        return self
+
+    def restart(self, path: str, rng=None) -> int:
+        """Restore state from a checkpoint; returns the checkpointed step
+        count.  Continuing with ``run(remaining)`` is bit-identical to an
+        uninterrupted run."""
+        if not self._finalized:
+            raise ConfigurationError("call finalize() before restart()")
+        from ..io.checkpoint import load_checkpoint
+
+        return load_checkpoint(self, path, rng=rng)
+
     # -- execution ------------------------------------------------------------
     def run(self, steps: int, check_every: int = 0) -> "Simulation":
         """Advance the simulation by ``steps`` time steps.

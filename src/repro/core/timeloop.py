@@ -56,18 +56,45 @@ class TimeLoop:
     sweeps: List[Sweep] = field(default_factory=list)
     steps_run: int = 0
     tree: TimingTree = field(default_factory=TimingTree)
+    checkpoint_every: int = 0
+    checkpoint_fn: Optional[Callable[[int], None]] = None
 
     def add(self, name: str, fn: Callable[[], None]) -> "TimeLoop":
         """Append a sweep; returns self for chaining."""
         self.sweeps.append(Sweep(name, fn))
         return self
 
+    def configure_checkpoint(
+        self, fn: Callable[[int], None], every: int
+    ) -> "TimeLoop":
+        """Invoke ``fn(steps_run)`` after every ``every``-th completed step.
+
+        The callback typically writes an atomic checkpoint (see
+        :func:`repro.io.checkpoint.save_checkpoint`); its cost is timed
+        under a top-level ``checkpoint`` scope of the timing tree, so
+        checkpointing overhead is observable next to the sweeps.
+        """
+        if every < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, got {every}")
+        if not callable(fn):
+            raise TypeError("checkpoint_fn must be callable")
+        self.checkpoint_fn = fn
+        self.checkpoint_every = int(every)
+        return self
+
     def step(self) -> None:
-        """Run one time step."""
+        """Run one time step (plus the periodic checkpoint hook, if due)."""
         tree = self.tree
         for sweep in self.sweeps:
             sweep.run(tree)
         self.steps_run += 1
+        if (
+            self.checkpoint_fn is not None
+            and self.checkpoint_every > 0
+            and self.steps_run % self.checkpoint_every == 0
+        ):
+            with tree.scoped("checkpoint"):
+                self.checkpoint_fn(self.steps_run)
 
     def run(self, steps: int) -> None:
         """Run ``steps`` time steps."""

@@ -24,12 +24,36 @@ class CommunicationError(ReproError):
     """Virtual MPI misuse or failure (bad rank, mismatched collective...)."""
 
 
+class RecvTimeoutError(CommunicationError):
+    """A receive hit its deadline with no matching message delivered.
+
+    The resilient communication layer (:class:`repro.comm.vmpi.ReliableComm`)
+    catches this internally and retries with backoff; it only escapes to the
+    caller on the non-resilient path or once retries are exhausted."""
+
+
+class RetryExhaustedError(CommunicationError):
+    """The resilient receive path gave up after its maximum number of
+    timeout/retransmit attempts (the peer is presumed dead)."""
+
+
+class RankCrashedError(CommunicationError):
+    """A virtual rank was killed by the fault injector (or died mid-run).
+
+    Raised out of :meth:`repro.comm.vmpi.VirtualMPI.run` so chaos
+    harnesses can catch it and exercise the checkpoint-restart path."""
+
+
 class LoadBalanceError(ReproError):
     """Load balancing could not satisfy its constraints."""
 
 
 class FileFormatError(ReproError):
     """Corrupt or incompatible block-structure file."""
+
+
+class CheckpointError(FileFormatError):
+    """Corrupt, truncated, or incompatible simulation checkpoint file."""
 
 
 class ConfigurationError(ReproError):

@@ -1,12 +1,21 @@
 """Input/output: legacy-VTK field output, OBJ surface meshes, and
 simulation checkpoints."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (
+    load_checkpoint,
+    load_solver_checkpoint,
+    read_state,
+    save_checkpoint,
+    save_solver_checkpoint,
+    write_state,
+)
 from .objmesh import read_obj, write_obj
 from .vtk import write_simulation_vtk, write_vtk
 
 __all__ = [
     "load_checkpoint", "save_checkpoint",
+    "load_solver_checkpoint", "save_solver_checkpoint",
+    "read_state", "write_state",
     "read_obj", "write_obj",
     "write_simulation_vtk", "write_vtk",
 ]

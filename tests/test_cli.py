@@ -36,3 +36,50 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCliResilience:
+    """``--chaos`` and the checkpoint/restart flags."""
+
+    def test_chaos_verifies_bit_identical(self, capsys):
+        assert main([
+            "--chaos", "7", "--profile-ranks", "2", "--profile-steps", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to fault-free baseline: True" in out
+        assert "fault injector (seed 7)" in out
+
+    def test_chaos_crash_drill(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "drill.npz")
+        assert main([
+            "--chaos", "3", "--profile-ranks", "2", "--profile-steps", "9",
+            "--checkpoint-every", "3", "--checkpoint", ckpt,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "crash drill" in out
+        assert "bit-identical = True" in out
+
+    def test_cavity_checkpoint_then_restart(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "cav.npz")
+        assert main([
+            "cavity", "--size", "8", "--steps", "20",
+            "--checkpoint", ckpt, "--checkpoint-every", "10",
+        ]) == 0
+        first = capsys.readouterr().out
+        assert main([
+            "cavity", "--size", "8", "--steps", "20",
+            "--checkpoint", ckpt, "--restart",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"restarted from {ckpt} at step 20" in out
+        # Same physics: the reported max |u| matches the first run's.
+        assert first.split("max |u| = ")[1] == out.split("max |u| = ")[1]
+
+    def test_checkpoint_every_requires_path(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cavity", "--size", "8", "--steps", "5",
+                  "--checkpoint-every", "2"])
+
+    def test_restart_requires_path(self):
+        with pytest.raises(SystemExit):
+            main(["cavity", "--size", "8", "--steps", "5", "--restart"])

@@ -182,3 +182,203 @@ class TestCheckpoint:
         np.savez(p, a=np.zeros(3))
         with pytest.raises(ReproError):
             load_checkpoint(_cavity(0), p)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint format v2: round-trips for every state shape, corruption
+# detection, atomicity, and RNG-state persistence (docs/resilience.md).
+# ---------------------------------------------------------------------------
+
+import os
+import zipfile
+
+from repro.errors import CheckpointError
+from repro.io import (
+    load_solver_checkpoint,
+    read_state,
+    save_solver_checkpoint,
+    write_state,
+)
+from repro.lbm.cellstructured import CellStructuredSolver
+
+
+def _single_block(steps=0):
+    sim = Simulation(cells=(6, 6, 6), collision=TRT.from_tau(0.7))
+    sim.flags.fill(fl.FLUID)
+    d = sim.flags.data
+    d[0] = d[-1] = fl.NO_SLIP
+    d[:, 0] = d[:, -1] = fl.NO_SLIP
+    d[:, :, 0] = fl.NO_SLIP
+    d[:, :, -1] = fl.VELOCITY_BC
+    sim.add_boundary(NoSlip())
+    sim.add_boundary(UBB(velocity=(0.05, 0.0, 0.0)))
+    sim.finalize()
+    if steps:
+        sim.run(steps)
+    return sim
+
+
+def _solver(steps=0):
+    flags = np.full((6, 6, 6), fl.NO_SLIP, dtype=np.uint8)
+    flags[1:-1, 1:-1, 1:-1] = fl.FLUID
+    flags[:, :, -1] = fl.VELOCITY_BC
+    s = CellStructuredSolver(
+        flags, TRT.from_tau(0.7), wall_velocity=(0.05, 0.0, 0.0)
+    )
+    if steps:
+        s.step(steps)
+    return s
+
+
+class TestCheckpointV2:
+    def test_distributed_roundtrip_includes_flags(self, tmp_path):
+        p = str(tmp_path / "c.npz")
+        first = _cavity(9)
+        save_checkpoint(first, p)
+        resumed = _cavity(0)
+        assert load_checkpoint(resumed, p) == 9
+        for bid, rt_flags in resumed.flags.items():
+            assert np.array_equal(rt_flags.data, first.flags[bid].data)
+        for bid, f in resumed.fields.items():
+            assert np.array_equal(f.src, first.fields[bid].src)
+
+    def test_single_block_roundtrip(self, tmp_path):
+        p = str(tmp_path / "c.npz")
+        ref = _single_block(25)
+        first = _single_block(10)
+        save_checkpoint(first, p)
+        resumed = _single_block(0)
+        assert load_checkpoint(resumed, p) == 10
+        resumed.run(15)
+        a, b = ref.velocity(), resumed.velocity()
+        assert np.array_equal(np.nan_to_num(a), np.nan_to_num(b))
+
+    def test_single_block_timeloop_hook(self, tmp_path):
+        """enable_checkpointing() writes on schedule; restart() resumes
+        bit-identically."""
+        p = str(tmp_path / "auto.npz")
+        ref = _single_block(20)
+        sim = _single_block(0)
+        sim.enable_checkpointing(p, every=6)
+        sim.run(14)          # checkpoints after steps 6 and 12
+        _, step, _ = read_state(p)
+        assert step == 12
+        resumed = _single_block(0)
+        assert resumed.restart(p) == 12
+        resumed.run(8)
+        a, b = ref.velocity(), resumed.velocity()
+        assert np.array_equal(np.nan_to_num(a), np.nan_to_num(b))
+
+    def test_cellstructured_roundtrip(self, tmp_path):
+        p = str(tmp_path / "cs.npz")
+        ref = _solver(20)
+        first = _solver(8)
+        save_solver_checkpoint(first, p)
+        resumed = _solver(0)
+        assert load_solver_checkpoint(resumed, p) == 8
+        resumed.step(12)
+        assert np.array_equal(ref.f, resumed.f)
+
+    def test_cellstructured_structure_mismatch(self, tmp_path):
+        p = str(tmp_path / "cs.npz")
+        save_solver_checkpoint(_solver(1), p)
+        flags = np.full((7, 6, 6), fl.NO_SLIP, dtype=np.uint8)
+        flags[1:-1, 1:-1, 1:-1] = fl.FLUID
+        other = CellStructuredSolver(flags, TRT.from_tau(0.7))
+        with pytest.raises(CheckpointError):
+            load_solver_checkpoint(other, p)
+
+    def test_rng_state_roundtrip(self, tmp_path):
+        p = str(tmp_path / "c.npz")
+        sim = _cavity(3)
+        rng = np.random.default_rng(1234)
+        rng.random(17)                       # advance the stream
+        save_checkpoint(sim, p, rng=rng)
+        expected = rng.random(5)             # continues past the save
+        rng2 = np.random.default_rng(0)      # different state
+        load_checkpoint(_cavity(0), p, rng=rng2)
+        assert np.array_equal(rng2.random(5), expected)
+
+    def test_v1_checkpoints_still_load(self, tmp_path):
+        """Backwards compatibility with the pre-resilience format."""
+        p = str(tmp_path / "v1.npz")
+        first = _cavity(5)
+        blocks = sorted(first.fields, key=str)
+        data = {"__meta__": np.array([1, 5, len(blocks)], dtype=np.int64)}
+        for bid in blocks:
+            data[str(bid)] = first.fields[bid].src   # v1: bare keys, no flags
+        np.savez(p, **data)
+        resumed = _cavity(0)
+        assert load_checkpoint(resumed, p) == 5
+        for bid, f in resumed.fields.items():
+            assert np.array_equal(f.src, first.fields[bid].src)
+
+
+class TestCheckpointCorruption:
+    def test_truncated_file_detected(self, tmp_path):
+        p = str(tmp_path / "c.npz")
+        save_checkpoint(_cavity(2), p)
+        raw = open(p, "rb").read()
+        open(p, "wb").write(raw[: len(raw) // 2])
+        with pytest.raises((CheckpointError, FileNotFoundError)) as ei:
+            load_checkpoint(_cavity(0), p)
+        assert isinstance(ei.value, CheckpointError)
+
+    def test_flipped_payload_bytes_fail_crc(self, tmp_path):
+        """A bit flip inside a stored array is caught by the per-array
+        CRC even when the zip container still parses."""
+        p = str(tmp_path / "c.npz")
+        save_checkpoint(_cavity(2), p)
+        # Rewrite the archive, corrupting one pdf member's payload.
+        corrupted = str(tmp_path / "bad.npz")
+        with zipfile.ZipFile(p) as zin, zipfile.ZipFile(
+            corrupted, "w", zipfile.ZIP_STORED
+        ) as zout:
+            for info in zin.infolist():
+                buf = bytearray(zin.read(info.filename))
+                if info.filename.startswith("pdf"):
+                    buf[len(buf) // 2] ^= 0xFF
+                zout.writestr(info.filename, bytes(buf))
+        with pytest.raises(CheckpointError, match="checksum|corrupt"):
+            load_checkpoint(_cavity(0), corrupted)
+
+    def test_junk_npz_rejected_typed(self, tmp_path):
+        p = str(tmp_path / "junk.npz")
+        np.savez(p, a=np.zeros(3))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(_cavity(0), p)
+        with pytest.raises(CheckpointError):
+            read_state(p)
+
+    def test_not_a_zip_rejected_typed(self, tmp_path):
+        p = str(tmp_path / "garbage.npz")
+        open(p, "wb").write(b"this is not a zip archive")
+        with pytest.raises(CheckpointError):
+            read_state(p)
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_state(str(tmp_path / "absent.npz"))
+
+    def test_checkpoint_error_is_typed(self):
+        from repro.errors import FileFormatError
+
+        assert issubclass(CheckpointError, FileFormatError)
+        assert issubclass(CheckpointError, ReproError)
+
+
+class TestCheckpointAtomicity:
+    def test_no_tmp_residue_after_save(self, tmp_path):
+        p = str(tmp_path / "c.npz")
+        save_checkpoint(_cavity(1), p)
+        save_checkpoint(_cavity(2), p)      # overwrite is atomic too
+        assert os.listdir(str(tmp_path)) == ["c.npz"]
+
+    def test_failed_write_leaves_previous_checkpoint_intact(self, tmp_path):
+        p = str(tmp_path / "c.npz")
+        write_state(p, {"x": np.arange(4.0)}, step=7)
+        with pytest.raises(CheckpointError):
+            write_state(p, {"__meta_json__": np.zeros(1)}, step=8)
+        arrays, step, _ = read_state(p)
+        assert step == 7 and np.array_equal(arrays["x"], np.arange(4.0))
+        assert sorted(os.listdir(str(tmp_path))) == ["c.npz"]
