@@ -321,6 +321,7 @@ def _cmd_coronary(args) -> int:
             UBB(velocity=(0.0, 0.0, 0.02)),
             PressureABB(rho_w=1.0),
         ],
+        comm_mode=getattr(args, "comm_mode", "per-face"),
     )
     done = 0
     if args.restart:
@@ -439,6 +440,13 @@ def main(argv=None) -> int:
     p_cor.add_argument("--steps", type=int, default=50)
     p_cor.add_argument("--seed", type=int, default=0)
     p_cor.add_argument("--vtk", type=str, default=None)
+    p_cor.add_argument(
+        "--comm-mode", dest="comm_mode", default="per-face",
+        choices=["per-face", "coalesced", "overlap"],
+        help="ghost exchange strategy: per-face messages, bulk-coalesced "
+        "per-rank-pair buffers, or coalesced with communication/"
+        "computation overlap (all bit-identical)",
+    )
     _add_checkpoint_flags(p_cor)
 
     args = parser.parse_args(argv)

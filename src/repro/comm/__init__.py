@@ -2,6 +2,16 @@
 and a resilient sequence-numbered protocol layer), ghost-layer exchange,
 and the distributed multi-block simulation driver."""
 
+from .buffersystem import (
+    BULK_TAG,
+    COMM_MODES,
+    BufferSegment,
+    BufferSystem,
+    CoalescedGhostExchange,
+    CoalescedPlan,
+    PeerMessage,
+    coalesce_plan,
+)
 from .distributed import (
     BlockRuntime,
     DistributedSimulation,
@@ -17,6 +27,7 @@ from .ghostlayer import (
     RankGhostPlan,
     SpmdGhostExchange,
     build_rank_plan,
+    drain_arrival_order,
     ghost_slices,
     message_tag,
     needed_directions,
@@ -28,11 +39,14 @@ from .vmpi import Comm, ReliableComm, Request, VirtualMPI
 __all__ = [
     "BlockRuntime", "DistributedSimulation", "build_block_runtime",
     "default_vascular_colors",
+    "BULK_TAG", "COMM_MODES", "BufferSegment", "BufferSystem",
+    "CoalescedGhostExchange", "CoalescedPlan", "PeerMessage",
+    "coalesce_plan",
     "FaultInjector", "FaultSpec",
     "run_spmd_simulation", "spmd_rank_program",
     "CommStats", "CopySpec", "GhostExchange", "ghost_slices",
     "needed_directions", "send_slices",
     "RankGhostPlan", "SpmdGhostExchange", "build_rank_plan",
-    "message_tag", "offset_code",
+    "drain_arrival_order", "message_tag", "offset_code",
     "Comm", "ReliableComm", "Request", "VirtualMPI",
 ]

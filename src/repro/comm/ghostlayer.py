@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.field import PdfField
-from ..errors import CommunicationError
+from ..errors import CommunicationError, RecvTimeoutError
 from ..lbm.lattice import LatticeModel
 from ..perf.timing import TimingTree
 
@@ -37,7 +37,45 @@ __all__ = [
     "RankGhostPlan",
     "build_rank_plan",
     "SpmdGhostExchange",
+    "drain_arrival_order",
 ]
+
+
+def drain_arrival_order(comm, channels, probe_timeout: Optional[float] = None):
+    """Receive one message per ``(source, tag)`` channel, yielding
+    ``(channel_index, payload)`` in the order messages actually *arrive*
+    rather than the order channels are listed.
+
+    A fixed-order drain blocks on the first listed channel even when
+    every other expected message is already waiting — head-of-line
+    blocking that PR 2's delay faults turn into serialized timeout
+    rounds.  This helper probes all outstanding channels at once
+    (:meth:`~repro.comm.vmpi.Comm.probe_any`) and consumes whichever is
+    ready first.  When nothing arrives within ``probe_timeout`` it falls
+    back to a blocking receive on the first outstanding channel, which
+    on a :class:`~repro.comm.vmpi.ReliableComm` triggers the
+    timeout/ledger-retransmit recovery path.
+
+    Ghost-region unpacks commute (each (block, side) region has exactly
+    one writer and regions are disjoint), so consuming in arrival order
+    is bit-identical to plan order — asserted by the chaos reorder tests.
+    """
+    pending = list(range(len(channels)))
+    while pending:
+        if len(pending) == 1:
+            k = 0
+        else:
+            try:
+                k = comm.probe_any(
+                    [channels[i] for i in pending], timeout=probe_timeout
+                )
+            except RecvTimeoutError:
+                # Nothing arrived: fall back to plan order; a resilient
+                # channel then recovers via its retransmission ledger.
+                k = 0
+        i = pending.pop(k)
+        source, tag = channels[i]
+        yield i, comm.recv(source, tag)
 
 
 def needed_directions(
@@ -189,22 +227,31 @@ class SpmdGhostExchange:
         return self.tree.scoped(name) if self.tree is not None else nullcontext()
 
     def exchange(self) -> int:
-        """Run one full ghost exchange; returns bytes sent to other ranks."""
+        """Run one full ghost exchange; returns bytes sent to other ranks.
+
+        Sends are posted non-blocking (``isend``); receives are drained
+        in *arrival order* via :func:`drain_arrival_order`, so one
+        delayed peer no longer serializes the unpacking of every message
+        behind it in the plan.
+        """
         plan = self.plan
         fields = self.fields
         comm = self.comm
         sent_bytes = 0
+        requests = []
         with self._scope("pack+send"):
             for dest, tag, block_id, sl in plan.sends:
                 payload = np.ascontiguousarray(fields[block_id].src[sl])
                 sent_bytes += payload.nbytes
-                comm.send(payload, dest=dest, tag=tag)
+                requests.append(comm.isend(payload, dest=dest, tag=tag))
         with self._scope("local copy"):
             for block_id, ghost_sl, src_id, src_sl in plan.local_copies:
                 fields[block_id].src[ghost_sl] = fields[src_id].src[src_sl]
         with self._scope("recv+unpack"):
-            for source, tag, block_id, ghost_sl in plan.recvs:
-                data = comm.recv(source=source, tag=tag)
+            channels = [(source, tag) for source, tag, _, _ in plan.recvs]
+            probe_timeout = getattr(comm, "retry_timeout", None)
+            for i, data in drain_arrival_order(comm, channels, probe_timeout):
+                _source, _tag, block_id, ghost_sl = plan.recvs[i]
                 region = fields[block_id].src[ghost_sl]
                 if data.shape != region.shape:
                     raise CommunicationError(
@@ -212,6 +259,8 @@ class SpmdGhostExchange:
                         f"expected {region.shape}"
                     )
                 region[...] = data
+            for req in requests:
+                req.wait()
         return sent_bytes
 
 

@@ -43,7 +43,10 @@ from ..lbm.boundary import Condition
 from ..lbm.collision import SRT, TRT
 from ..lbm.lattice import D3Q19, LatticeModel
 from ..perf.timing import TimingTree
-from .distributed import BlockRuntime, build_block_runtime
+from ..lbm.kernels.common import interior_partition
+from ..lbm.kernels.registry import KERNEL_TIERS, run_kernel_on_region
+from .buffersystem import COMM_MODES, BufferSystem
+from .distributed import BlockRuntime, _handler_writes_ghosts, build_block_runtime
 from .ghostlayer import SpmdGhostExchange, build_rank_plan
 from .vmpi import Comm, ReliableComm, VirtualMPI
 
@@ -119,10 +122,21 @@ def spmd_rank_program(
     checkpoint_every: int = 0,
     checkpoint_path: Optional[str] = None,
     restore_from: Optional[str] = None,
+    comm_mode: str = "per-face",
 ) -> Dict[object, np.ndarray]:
     """One rank's complete simulation: build local blocks, exchange
     ghosts by message passing, step, and return the final interior PDFs
     of the local blocks (keyed by block id).
+
+    ``comm_mode`` selects the exchange strategy (all bit-identical):
+    ``"per-face"`` sends one message per (block, face);
+    ``"coalesced"`` routes everything through a
+    :class:`~repro.comm.buffersystem.BufferSystem` — exactly one
+    message per peer rank per step, packed into persistent buffers
+    (zero full-field allocations in steady state); ``"overlap"``
+    additionally hides the exchange behind each block's inner-region
+    sweep, with ``inner kernel`` / ``communication finish`` /
+    ``frontier kernel`` scopes and a ``comm.overlap_efficiency`` gauge.
 
     ``tree`` enables per-rank timing: communication (with pack+send /
     local copy / recv+unpack sub-scopes), boundary, kernel, swap, the
@@ -142,6 +156,10 @@ def spmd_rank_program(
     """
     if checkpoint_every > 0 and not checkpoint_path:
         raise ConfigurationError("checkpoint_every needs a checkpoint_path")
+    if comm_mode not in COMM_MODES:
+        raise ConfigurationError(
+            f"comm_mode must be one of {COMM_MODES}, got {comm_mode!r}"
+        )
     view = view_for_rank(forest, comm.rank)
     runtimes: Dict[object, BlockRuntime] = {}
     local: Dict[object, LocalBlock] = {}
@@ -163,10 +181,32 @@ def spmd_rank_program(
         if resilient
         else comm
     )
-    ghost = SpmdGhostExchange(
-        plan, {bid: rt.field for bid, rt in runtimes.items()}, channel,
-        tree=tree,
-    )
+    fields = {bid: rt.field for bid, rt in runtimes.items()}
+    if comm_mode == "per-face":
+        exchange = SpmdGhostExchange(plan, fields, channel, tree=tree)
+    else:
+        exchange = BufferSystem(plan, fields, channel, tree=tree)
+
+    # Overlap precomputation: split each dense block into an inner box
+    # (ghost-independent) and a frontier onion; sparse blocks sweep
+    # whole-block in the frontier phase (their index lists are built for
+    # the full padded shape).  Blocks that receive remote data and write
+    # boundary PDFs into the ghost shell must re-apply after unpack.
+    inner_boxes: Dict[object, tuple] = {}
+    frontier_boxes: Dict[object, list] = {}
+    reapply: List[object] = []
+    if comm_mode == "overlap":
+        remote_dst = {entry[2] for entry in plan.recvs}
+        for bid, rt in runtimes.items():
+            if rt.kernel_name in KERNEL_TIERS:
+                inner, frontier = interior_partition(local[bid].cells)
+                if inner is not None:
+                    inner_boxes[bid] = inner
+                frontier_boxes[bid] = frontier
+            if bid in remote_dst and _handler_writes_ghosts(rt.handler):
+                reapply.append(bid)
+    inner_seconds = 0.0
+    wait_seconds = 0.0
 
     def scope(name: str):
         return tree.scoped(name) if tree is not None else nullcontext()
@@ -189,30 +229,77 @@ def spmd_rank_program(
             channel.begin_step(step)
         else:
             comm.fault_tick(step)
-        # 1. communication: fire all sends, then drain the expected recvs.
-        with scope("communication"):
-            sent_bytes = ghost.exchange()
-        # 2./3./4. boundary handling, kernel, swap — per local block.
-        if tree is None:
-            for rt in runtimes.values():
-                rt.step_local()
-        else:
+        if comm_mode == "overlap":
+            # 1a. pack + post isends + local copies, then start computing.
+            with scope("communication"):
+                sent_bytes = exchange.start()
+                exchange.local()
             with scope("boundary"):
                 for rt in runtimes.values():
                     rt.handler.apply(rt.field.src)
-            with scope("kernel"):
-                for rt in runtimes.values():
-                    t0 = time.perf_counter()
-                    rt.kernel(rt.field.src, rt.field.dst)
-                    tree.record(
-                        f"tier:{rt.kernel_name}", time.perf_counter() - t0
+            # 2. inner-region sweeps hide the in-flight messages.
+            t0 = time.perf_counter()
+            with scope("inner kernel"):
+                for bid, box in inner_boxes.items():
+                    rt = runtimes[bid]
+                    run_kernel_on_region(
+                        rt.kernel, rt.field.src, rt.field.dst, box
                     )
+            inner_seconds += time.perf_counter() - t0
+            # 1b. drain + unpack; restore any boundary ghost writes.
+            with scope("communication finish"):
+                exchange.finish()
+                for bid in reapply:
+                    runtimes[bid].handler.apply(runtimes[bid].field.src)
+            wait_seconds += exchange.last_wait_seconds
+            # 3. frontier sweeps now that ghost layers are fresh.
+            with scope("frontier kernel"):
+                for bid, rt in runtimes.items():
+                    boxes = frontier_boxes.get(bid)
+                    if boxes is None:  # sparse: whole-block sweep
+                        rt.kernel(rt.field.src, rt.field.dst)
+                        continue
+                    for box in boxes:
+                        run_kernel_on_region(
+                            rt.kernel, rt.field.src, rt.field.dst, box
+                        )
             with scope("swap"):
                 for rt in runtimes.values():
                     rt.field.swap()
-            tree.add_counter("cells_updated", cells_per_step)
-            tree.add_counter("fluid_cell_updates", fluid_per_step)
-            tree.add_counter("comm.remote_bytes", sent_bytes)
+            if tree is not None:
+                tree.add_counter("cells_updated", cells_per_step)
+                tree.add_counter("fluid_cell_updates", fluid_per_step)
+                tree.add_counter("comm.remote_bytes", sent_bytes)
+                denom = inner_seconds + wait_seconds
+                if denom > 0.0:
+                    tree.set_counter(
+                        "comm.overlap_efficiency", inner_seconds / denom
+                    )
+        else:
+            # 1. communication: fire all sends, then drain the recvs.
+            with scope("communication"):
+                sent_bytes = exchange.exchange()
+            # 2./3./4. boundary handling, kernel, swap — per local block.
+            if tree is None:
+                for rt in runtimes.values():
+                    rt.step_local()
+            else:
+                with scope("boundary"):
+                    for rt in runtimes.values():
+                        rt.handler.apply(rt.field.src)
+                with scope("kernel"):
+                    for rt in runtimes.values():
+                        t0 = time.perf_counter()
+                        rt.kernel(rt.field.src, rt.field.dst)
+                        tree.record(
+                            f"tier:{rt.kernel_name}", time.perf_counter() - t0
+                        )
+                with scope("swap"):
+                    for rt in runtimes.values():
+                        rt.field.swap()
+                tree.add_counter("cells_updated", cells_per_step)
+                tree.add_counter("fluid_cell_updates", fluid_per_step)
+                tree.add_counter("comm.remote_bytes", sent_bytes)
         # Periodic checkpoint: collective gather + atomic rank-0 write.
         if checkpoint_every > 0 and (step + 1) % checkpoint_every == 0:
             with scope("checkpoint"):
@@ -246,6 +333,7 @@ def run_spmd_simulation(
     checkpoint_every: int = 0,
     checkpoint_path: Optional[str] = None,
     restore_from: Optional[str] = None,
+    comm_mode: str = "per-face",
 ) -> Dict[object, np.ndarray]:
     """Run the SPMD program on every virtual rank and merge the results.
 
@@ -288,6 +376,7 @@ def run_spmd_simulation(
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
             restore_from=restore_from,
+            comm_mode=comm_mode,
         )
 
     per_rank = world.run(program)

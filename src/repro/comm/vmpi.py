@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import (
     CommunicationError,
@@ -69,6 +69,46 @@ class _Mailbox:
                 if (source is _ANY or s == source) and (tag is _ANY or t == tag):
                     return True
             return False
+
+    def wait_any(
+        self, channels: List[Tuple[Any, Any]], timeout: float
+    ) -> int:
+        """Block until a message matching any ``(source, tag)`` channel is
+        waiting; return the index of the matched channel *without
+        consuming* the message.
+
+        Arrival order is the mailbox append order, so the first channel
+        whose message has actually arrived wins — the primitive behind
+        head-of-line-blocking-free receive draining.  Raises
+        :class:`~repro.errors.RecvTimeoutError` on deadline expiry.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
+
+        def match():
+            for (s, t, _) in self._messages:
+                for k, (cs, ct) in enumerate(channels):
+                    if (cs is _ANY or s == cs) and (ct is _ANY or t == ct):
+                        return k
+            return None
+
+        with self._cond:
+            while True:
+                if self._aborted:
+                    raise _AbortError("virtual MPI run aborted")
+                idx = match()
+                if idx is not None:
+                    return idx
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                    raise RecvTimeoutError(
+                        f"wait_any timed out after {timeout}s on "
+                        f"{len(channels)} channels"
+                    )
 
     def get(self, source: Any, tag: Any, timeout: float) -> Tuple[int, int, Any]:
         """Pop the first matching message, waiting up to ``timeout``.
@@ -157,14 +197,17 @@ class Comm:
     def __init__(self, rank: int, parent: "VirtualMPI"):
         self.rank = rank
         self._parent = parent
+        # FIFO of posted-but-undelivered isend payloads (progress-engine
+        # style: delivery happens at the next progress point).
+        self._pending_sends: List[Tuple[Any, int, int]] = []
 
     @property
     def size(self) -> int:
         return self._parent.size
 
     # -- point to point -----------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        self._parent._check_rank(dest)
+    def _deliver(self, obj: Any, dest: int, tag: int) -> None:
+        """Hand one message to the destination mailbox (fault-aware)."""
         faults = self._parent.faults
         if faults is None:
             self._parent._mailboxes[dest].put(self.rank, tag, obj)
@@ -172,11 +215,31 @@ class Comm:
         for d, (src, t, payload) in faults.on_send(self.rank, dest, tag, obj):
             self._parent._mailboxes[d].put(src, t, payload)
 
+    def progress(self) -> None:
+        """Drive the progress engine: deliver all pending isends (FIFO).
+
+        Real MPI implementations make asynchronous progress when the
+        process enters the library; this transport does the same —
+        ``recv``/``barrier``/``probe_any``/``iprobe`` and
+        ``Request.wait`` on a send request all progress pending sends
+        first, so a rank that posts isends and then blocks can never
+        deadlock its peers.
+        """
+        while self._pending_sends:
+            obj, dest, tag = self._pending_sends.pop(0)
+            self._deliver(obj, dest, tag)
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._parent._check_rank(dest)
+        self.progress()  # preserve FIFO channel order across isend/send mixes
+        self._deliver(obj, dest, tag)
+
     def recv(
         self, source: Any = _ANY, tag: Any = _ANY,
         timeout: Optional[float] = None,
     ) -> Any:
         """Blocking receive; ``timeout`` overrides the world default."""
+        self.progress()
         _, _, payload = self._parent._mailboxes[self.rank].get(
             source, tag,
             self._parent.timeout if timeout is None else timeout,
@@ -184,12 +247,16 @@ class Comm:
         return payload
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
-        """Non-blocking send (the in-memory transport never blocks, so
-        this completes eagerly; the Request exists for API symmetry)."""
-        self.send(obj, dest, tag)
-        req = Request(lambda: None)
-        req.wait()
-        return req
+        """Genuinely non-blocking send: the message is queued on this
+        rank's progress engine and delivered at the next progress point
+        (``Request.wait``/``test``, a ``recv``, a ``barrier``, or a
+        probe).  The returned request completes once the message has
+        been handed to the destination mailbox — i.e. once the payload
+        buffer may be reused, mirroring MPI_Isend completion semantics.
+        """
+        self._parent._check_rank(dest)
+        self._pending_sends.append((obj, dest, tag))
+        return Request(lambda: self.progress())
 
     def irecv(self, source: Any = _ANY, tag: Any = _ANY) -> Request:
         """Non-blocking receive: the matching message is consumed when
@@ -202,7 +269,30 @@ class Comm:
 
     def iprobe(self, source: Any = _ANY, tag: Any = _ANY) -> bool:
         """True if a matching message is already waiting."""
+        self.progress()
         return self._parent._mailboxes[self.rank].peek(source, tag)
+
+    def probe_any(
+        self,
+        channels: Sequence[Tuple[Any, Any]],
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Block until a message matching any ``(source, tag)`` channel
+        has arrived; return the index of that channel (message not
+        consumed).
+
+        This is the arrival-order primitive of the ghost exchange: the
+        caller drains whichever expected message is ready first instead
+        of blocking on a fixed plan order (head-of-line blocking under
+        delay faults).  Raises :class:`~repro.errors.RecvTimeoutError`
+        when nothing arrives within ``timeout`` (world default if
+        ``None``).
+        """
+        self.progress()
+        return self._parent._mailboxes[self.rank].wait_any(
+            list(channels),
+            self._parent.timeout if timeout is None else timeout,
+        )
 
     def sendrecv(self, obj: Any, dest: int, source: Any = _ANY, tag: int = 0) -> Any:
         self.send(obj, dest, tag)
@@ -228,6 +318,7 @@ class Comm:
 
     # -- collectives ----------------------------------------------------------
     def barrier(self) -> None:
+        self.progress()
         self._flush_faults()
         self._parent._barrier.wait(timeout=self._parent.timeout)
 
@@ -372,8 +463,10 @@ class ReliableComm:
         self.comm.fault_tick(step)
 
     # -- reliable point-to-point -------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Send with a sequence-numbered envelope + retransmission ledger."""
+    def _envelope(self, obj: Any, dest: int, tag: int):
+        """Wrap ``obj`` in the next sequence-numbered envelope for the
+        ``(dest, tag)`` channel and record it in the retransmission
+        ledger (shared through the parent world)."""
         key = (dest, tag)
         seq = self._send_seq.get(key, 0) + 1
         self._send_seq[key] = seq
@@ -383,7 +476,18 @@ class ReliableComm:
         # rank), so the ledger needs no lock on the send hot path.
         self.comm._parent._ledger[(self.comm.rank, dest, tag)] = envelope
         self._count("comm.seq_messages")
-        self.comm.send(envelope, dest, tag)
+        return envelope
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send with a sequence-numbered envelope + retransmission ledger."""
+        self.comm.send(self._envelope(obj, dest, tag), dest, tag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking reliable send: the envelope is sequenced and
+        ledger-recorded *now* (so a receiver that times out before
+        delivery can already recover it), while mailbox delivery rides
+        the wrapped communicator's progress engine."""
+        return self.comm.isend(self._envelope(obj, dest, tag), dest, tag)
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Receive the next in-sequence message from ``(source, tag)``.

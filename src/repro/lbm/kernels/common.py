@@ -16,7 +16,7 @@ into ``dst`` (two-grid scheme; the caller swaps the fields afterwards).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -28,7 +28,15 @@ __all__ = [
     "pdf_shape",
     "alloc_pdf_field",
     "check_pdf_args",
+    "Box",
+    "region_view",
+    "box_cells",
+    "interior_partition",
 ]
+
+#: An axis-aligned box in *interior* cell coordinates: ``(lo, hi)`` with
+#: inclusive ``lo`` and exclusive ``hi`` per axis (cells ``lo .. hi-1``).
+Box = Tuple[Tuple[int, ...], Tuple[int, ...]]
 
 
 def interior_slices(dim: int) -> Tuple[slice, ...]:
@@ -62,6 +70,79 @@ def pdf_shape(model: LatticeModel, cells: Tuple[int, ...]) -> Tuple[int, ...]:
 def alloc_pdf_field(model: LatticeModel, cells: Tuple[int, ...]) -> np.ndarray:
     """Allocate a zero-initialized SoA PDF array with ghost layers."""
     return np.zeros(pdf_shape(model, cells), dtype=np.float64)
+
+
+def region_view(arr: np.ndarray, box: Box) -> np.ndarray:
+    """View of an SoA PDF array covering ``box`` plus a one-cell halo.
+
+    ``box`` is expressed in interior cell coordinates (interior cell ``i``
+    lives at array index ``i + 1``).  The returned view spans array
+    indices ``lo .. hi + 1`` per axis, i.e. the region's cells *plus* one
+    halo cell on each side, so a kernel run on the view performs exactly
+    the same per-cell pulls as a full-field run restricted to the box.
+    The view shares memory with ``arr`` — no copies are made.
+    """
+    lo, hi = box
+    return arr[
+        (slice(None),) + tuple(slice(int(a), int(b) + 2) for a, b in zip(lo, hi))
+    ]
+
+
+def box_cells(box: Box) -> int:
+    """Number of interior cells covered by ``box``."""
+    lo, hi = box
+    n = 1
+    for a, b in zip(lo, hi):
+        n *= max(0, int(b) - int(a))
+    return n
+
+
+def interior_partition(
+    cells: Tuple[int, ...], shell: int = 1
+) -> Tuple[Optional[Box], List[Box]]:
+    """Split a block interior into an inner box and a frontier shell.
+
+    The inner box is the region whose stream-pull reads touch only other
+    interior cells — with a pull distance of one lattice link that is the
+    interior shrunk by ``shell`` cells per side.  Its sweep therefore does
+    not depend on ghost-layer contents and can run *before* the ghost
+    exchange completes (communication/computation overlap).  The frontier
+    is the remaining one-``shell``-thick onion of slabs; its sweep must
+    wait for the exchange.
+
+    Returns ``(inner, frontier)`` where ``inner`` is a :data:`Box` or
+    ``None`` and ``frontier`` is a list of disjoint :data:`Box` objects
+    whose union with ``inner`` is exactly the full interior.  The onion
+    layout (for 3-D): two full-cross-section x slabs, two y slabs
+    excluding the x extremes, two z slabs excluding both.  If any axis is
+    too small to leave an inner region (``c <= 2 * shell``) the whole
+    interior is returned as a single frontier box.
+    """
+    cells = tuple(int(c) for c in cells)
+    d = len(cells)
+    s = int(shell)
+    full: Box = ((0,) * d, cells)
+    if s <= 0:
+        return full, []
+    if any(c <= 2 * s for c in cells):
+        return None, [full]
+    inner: Box = ((s,) * d, tuple(c - s for c in cells))
+    frontier: List[Box] = []
+    lo_clip = [0] * d
+    hi_clip = list(cells)
+    for ax in range(d):
+        # Low and high slabs along `ax`, clipped on all previous axes so
+        # the boxes are disjoint (onion layout).
+        for side_lo, side_hi in (
+            (0, s),
+            (cells[ax] - s, cells[ax]),
+        ):
+            lo = list(lo_clip)
+            hi = list(hi_clip)
+            lo[ax], hi[ax] = side_lo, side_hi
+            frontier.append((tuple(lo), tuple(hi)))
+        lo_clip[ax], hi_clip[ax] = s, cells[ax] - s
+    return inner, frontier
 
 
 def check_pdf_args(model: LatticeModel, src: np.ndarray, dst: np.ndarray) -> None:

@@ -26,12 +26,19 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 
 from ..collision import SRT, TRT
 from ..lattice import D3Q19, LatticeModel
+from .common import Box, region_view
 from .d3q19 import d3q19_step
 from .generic import generic_step
 from .reference import reference_step
 from .vectorized import VectorizedD3Q19Kernel
 
-__all__ = ["make_kernel", "instrument_kernel", "InstrumentedKernel", "KERNEL_TIERS"]
+__all__ = [
+    "make_kernel",
+    "instrument_kernel",
+    "InstrumentedKernel",
+    "KERNEL_TIERS",
+    "run_kernel_on_region",
+]
 
 Collision = Union[SRT, TRT]
 Kernel = Callable[[np.ndarray, np.ndarray], None]
@@ -94,6 +101,19 @@ def instrument_kernel(
     if tree is None:
         return kernel
     return InstrumentedKernel(kernel, tree, f"tier:{name}")
+
+
+def run_kernel_on_region(kernel: Kernel, src: np.ndarray, dst: np.ndarray, box: Box) -> None:
+    """Run ``kernel`` on the subregion ``box`` of a field pair.
+
+    ``box`` is an interior-coordinate box (see
+    :func:`~repro.lbm.kernels.common.interior_partition`); the kernel is
+    invoked on halo-inclusive *views* so no data is copied and per-cell
+    arithmetic is bit-identical to a full-field sweep restricted to the
+    box.  All tiers accept arbitrary shapes (the ``vectorized`` tier
+    caches scratch buffers per shape, allocating only on first use).
+    """
+    kernel(region_view(src, box), region_view(dst, box))
 
 
 def make_kernel(

@@ -29,6 +29,7 @@ from .network import (
     NetworkModel,
     TorusNetwork,
     cross_island_fraction,
+    exchange_time_from_counters,
     network_for,
 )
 from .roofline import RooflinePoint, lbm_traffic_per_cell, machine_roofline, roofline_mlups
@@ -57,7 +58,7 @@ __all__ = [
     "TimingTree", "best_of", "clear_timing_registry", "get_timing_tree",
     "reduce_over_comm", "reduce_trees",
     "IslandTreeNetwork", "NetworkModel", "TorusNetwork",
-    "cross_island_fraction", "network_for",
+    "cross_island_fraction", "exchange_time_from_counters", "network_for",
     "RooflinePoint", "lbm_traffic_per_cell", "machine_roofline", "roofline_mlups",
     "CoronaryWeakPoint", "FrameworkCosts", "NodeConfig", "PAPER_CONFIGS",
     "StrongScalingPoint", "VesselBlockModel", "WeakScalingPoint",

@@ -211,6 +211,13 @@ class TimingTree:
         with self._lock:
             self.counters[name] = self.counters.get(name, 0.0) + value
 
+    def set_counter(self, name: str, value: float) -> None:
+        """Overwrite a named quantity (for gauges such as the running
+        ``comm.overlap_efficiency`` ratio, where accumulation across
+        steps would be meaningless)."""
+        with self._lock:
+            self.counters[name] = float(value)
+
     def counter(self, name: str) -> float:
         """Current value of counter ``name`` (0 if never incremented)."""
         return self.counters.get(name, 0.0)

@@ -171,6 +171,36 @@ class TestCrashRecovery:
         _assert_identical(recovered, baseline)
 
 
+class TestCommModesUnderChaos:
+    """The bulk-coalesced buffer system and the arrival-order receive
+    drain must absorb delay/reorder schedules exactly like the per-face
+    path: same final bits, for every ``comm_mode``."""
+
+    @pytest.mark.parametrize("mode", ["per-face", "coalesced"])
+    @pytest.mark.parametrize("seed", [2, 9])
+    def test_delay_reorder_bit_identical(self, mode, seed, baseline):
+        # Delays with max_hold > 1 reorder message arrival across
+        # channels — the schedule the fixed-plan-order drain used to
+        # serialize on (head-of-line blocking) and the arrival-order
+        # drain absorbs.
+        spec = FaultSpec(p_delay=0.5, p_duplicate=0.2, max_hold=3)
+        result = _run(faults=FaultInjector(spec, seed), comm_mode=mode)
+        _assert_identical(result, baseline)
+
+    def test_overlap_under_delay(self, baseline):
+        spec = FaultSpec(p_delay=0.4, max_hold=2)
+        result = _run(faults=FaultInjector(spec, 13), comm_mode="overlap")
+        _assert_identical(result, baseline)
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("mode", ["coalesced", "overlap"])
+    @pytest.mark.parametrize("seed", list(range(8)))
+    def test_sampled_schedules(self, mode, seed, baseline):
+        spec = FaultSpec.sample(seed)
+        result = _run(faults=FaultInjector(spec, seed), comm_mode=mode)
+        _assert_identical(result, baseline)
+
+
 class TestRecoveryObservability:
     """Fault handling must be visible in the timing-tree counters."""
 

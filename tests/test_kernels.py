@@ -160,9 +160,18 @@ class TestValidation:
 
     def test_vectorized_shape_checked(self):
         k = make_kernel("vectorized", D3Q19, SRT(0.8), (4, 4, 4))
-        src = np.zeros((19, 7, 6, 6))
+        # Invalid argument pairs are still rejected ...
         with pytest.raises(ValueError):
-            k(src, np.zeros_like(src))
+            k(np.zeros((18, 6, 6, 6)), np.zeros((18, 6, 6, 6)))
+        bad = np.zeros((19, 6, 6, 6))
+        with pytest.raises(ValueError):
+            k(bad, bad)  # src is dst
+        # ... but other *valid* interior shapes are now accepted: the
+        # kernel caches scratch per shape so it can run on subregion
+        # views for communication/computation overlap.
+        src = np.full((19, 7, 6, 6), 0.05)
+        k(src, np.zeros_like(src))
+        assert (5, 4, 4) in k._scratch and (4, 4, 4) in k._scratch
 
 
 class TestKernelProperties:

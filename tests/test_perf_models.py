@@ -14,6 +14,7 @@ from repro.perf import (
     TorusNetwork,
     bandwidth_utilization,
     cross_island_fraction,
+    exchange_time_from_counters,
     flops_estimate,
     lbm_traffic_per_cell,
     machine_roofline,
@@ -163,6 +164,80 @@ class TestNetworks:
             net.exchange_time(0, 1e6, 1)
         with pytest.raises(ValueError):
             net.exchange_time(1, -1.0, 1)
+
+
+class TestExchangeTimeFromCounters:
+    """Counter-driven model validation: the helper must convert the
+    buffer system's summed counters to the per-node per-step quantities
+    the models are parameterized in."""
+
+    NET = TorusNetwork(
+        link_bandwidth=1e9, latency_s=1e-6, routing_dilation=0.0
+    )
+
+    def test_coalesced_counters(self):
+        # 4 ranks x 10 steps, 6 messages and 1 MB per rank per step.
+        counters = {
+            "comm.messages_coalesced": 6.0 * 4 * 10,
+            "comm.coalesced_bytes": 1e6 * 4 * 10,
+        }
+        t = exchange_time_from_counters(self.NET, counters, steps=10, ranks=4)
+        assert t == pytest.approx(6e-6 + 1e-3)
+
+    def test_per_face_fallback(self):
+        # No coalesced counters: the per-face byte ledger is used.
+        counters = {"comm.remote_bytes": 2e6 * 2 * 5}
+        t = exchange_time_from_counters(self.NET, counters, steps=5, ranks=2)
+        assert t == pytest.approx(2e-3)
+
+    def test_accepts_reduced_tree(self):
+        from repro.perf.timing import TimingTree, reduce_trees
+
+        tree = TimingTree()
+        with tree.scoped("communication"):
+            tree.add_counter("comm.messages_coalesced", 30.0)
+            tree.add_counter("comm.coalesced_bytes", 3e6)
+        reduced = reduce_trees([tree])
+        t = exchange_time_from_counters(self.NET, reduced, steps=3, ranks=1)
+        assert t == pytest.approx(10e-6 + 1e-3)
+
+    def test_measured_run_feeds_both_models(self):
+        """End to end: counters from an actual coalesced SPMD run give
+        finite, positive predictions for both paper machines."""
+        from repro.balance import balance_forest
+        from repro.blocks import SetupBlockForest
+        from repro.comm import VirtualMPI, run_spmd_simulation
+        from repro.geometry import AABB
+        from repro.lbm import NoSlip, TRT
+        from repro.perf.timing import TimingTree, reduce_trees
+
+        forest = SetupBlockForest.create(
+            AABB((0, 0, 0), (2.0, 1.0, 1.0)), (2, 1, 1), (4, 4, 4)
+        )
+        balance_forest(forest, 2, strategy="morton")
+        trees = [TimingTree(), TimingTree()]
+        run_spmd_simulation(
+            VirtualMPI(2),
+            forest,
+            TRT.from_tau(0.7),
+            4,
+            conditions=[NoSlip()],
+            timing_trees=trees,
+            comm_mode="coalesced",
+        )
+        counters = reduce_trees(trees).counters
+        assert counters.get("comm.messages_coalesced", 0) > 0
+        for machine in (JUQUEEN, SUPERMUC):
+            t = exchange_time_from_counters(
+                network_for(machine), counters, steps=4, ranks=2, job_nodes=2
+            )
+            assert np.isfinite(t) and t > 0.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            exchange_time_from_counters(self.NET, {}, steps=0, ranks=1)
+        with pytest.raises(ValueError):
+            exchange_time_from_counters(self.NET, {}, steps=1, ranks=0)
 
 
 class TestMetrics:
