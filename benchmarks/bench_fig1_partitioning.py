@@ -1,7 +1,6 @@
 """Figure 1 — domain partitioning of the coronary tree with a target of
 one block per process (512-process nodeboard and full-JUQUEEN cases)."""
 
-import pytest
 
 from repro.balance import balance_forest, evaluate_balance
 from repro.blocks import search_weak_scaling_partition

@@ -6,6 +6,16 @@ Commands
 ``figures``    regenerate every paper figure (paper-vs-ours tables)
 ``cavity``     run a lid-driven cavity and print performance
 ``coronary``   run the coronary pipeline end to end
+``lint``       static MPI/kernel/hygiene analysis of the source tree
+
+Linting
+-------
+``python -m repro lint [PATH ...]`` runs the custom static analyzers
+(vMPI protocol correctness, kernel allocation contracts, framework
+hygiene — see ``docs/static-analysis.md``) over the given paths
+(default ``src/repro``) and exits non-zero on any finding.
+``--format=json`` emits the machine-readable report consumed by CI;
+``--baseline``/``--write-baseline`` support incremental adoption.
 
 Resilience
 ----------
@@ -255,6 +265,39 @@ def _cmd_chaos(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args) -> int:
+    """``lint``: run the static analyzers; exit 1 on any new finding."""
+    from .analysis import (
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+
+    paths = args.paths or ["src/repro"]
+    if args.write_baseline:
+        result = lint_paths(paths, baseline_path=None)
+        n = write_baseline(args.write_baseline, result.findings)
+        print(
+            f"wrote baseline {args.write_baseline}: {n} entr"
+            f"{'y' if n == 1 else 'ies'} from {result.files_checked} file(s)"
+        )
+        return 0
+    if args.baseline:
+        # Validate eagerly so a bad baseline path fails loudly, not as
+        # a silently-empty suppression set.
+        load_baseline(args.baseline)
+    result = lint_paths(paths, baseline_path=args.baseline)
+    if args.format == "json":
+        print(render_json(result.findings, result.baselined, result.files_checked))
+    else:
+        print(render_text(result.findings, result.baselined, result.files_checked))
+    for error in result.errors:
+        print(f"error: {error}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def _cmd_cavity(args) -> int:
     import numpy as np
 
@@ -433,6 +476,28 @@ def main(argv=None) -> int:
     p_cav.add_argument("--vtk", type=str, default=None)
     _add_checkpoint_flags(p_cav)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the static MPI/kernel/hygiene analyzers "
+        "(see docs/static-analysis.md)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (json is the CI interface)",
+    )
+    p_lint.add_argument(
+        "--baseline", type=str, default=None, metavar="PATH",
+        help="baseline file of known findings that do not fail the gate",
+    )
+    p_lint.add_argument(
+        "--write-baseline", type=str, default=None, metavar="PATH",
+        help="snapshot current findings into a baseline file and exit 0",
+    )
+
     p_cor = sub.add_parser("coronary", help="run the coronary pipeline")
     p_cor.add_argument("--generations", type=int, default=4)
     p_cor.add_argument("--blocks", type=int, default=96)
@@ -465,6 +530,7 @@ def main(argv=None) -> int:
         "figures": _cmd_figures,
         "cavity": _cmd_cavity,
         "coronary": _cmd_coronary,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,50 @@
+"""Static analysis and dynamic trace verification for the framework.
+
+waLBerla reaches its scale in part because its C++ tooling makes whole
+error classes structurally impossible before a job is ever submitted;
+this package is the Python reproduction's equivalent gate.  Three
+static analyzers walk the AST of the repo's own source — vMPI protocol
+correctness (:mod:`.mpi_checks`), kernel performance contracts
+(:mod:`.kernel_checks`), and framework hygiene
+(:mod:`.hygiene_checks`) — and a dynamic verifier (:mod:`.trace`)
+replays recorded virtual-MPI traces through deadlock and race
+detectors.  Findings, suppressions, and the baseline live in
+:mod:`.findings`; reporters in :mod:`.reporting`; the driver behind
+``python -m repro lint`` in :mod:`.runner`.
+
+The gate is self-hosting: ``python -m repro lint src/repro`` must exit
+0 on the shipped tree, and every rule is proven live by a seeded
+violation under ``tests/analysis/fixtures/``.
+"""
+
+from .findings import (
+    RULES,
+    Finding,
+    Rule,
+    Suppressions,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
+from .reporting import render_json, render_text
+from .runner import LintResult, iter_python_files, lint_file, lint_paths
+from .trace import TraceEvent, TraceRecorder, analyze_trace
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Finding",
+    "Suppressions",
+    "load_baseline",
+    "write_baseline",
+    "split_baselined",
+    "render_text",
+    "render_json",
+    "LintResult",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "TraceEvent",
+    "TraceRecorder",
+    "analyze_trace",
+]

@@ -1,0 +1,127 @@
+"""Small AST utilities shared by the static analyzers.
+
+Nothing here is specific to one rule: parent links, function collection,
+call-name resolution, and literal extraction.  The analyzers operate on
+plain :mod:`ast` trees — no imports of the analyzed code are performed,
+so linting a file can never execute it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "attach_parents",
+    "iter_functions",
+    "call_name",
+    "call_attr",
+    "receiver_name",
+    "const_int",
+    "const_str",
+    "statements_in_order",
+    "decorator_call",
+]
+
+
+def attach_parents(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Map every node to its parent (the root maps to nothing)."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    """All function and method definitions, in source order."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def call_attr(call: ast.Call) -> Optional[str]:
+    """Attribute name of a method-style call (``x.y.send(...)`` → ``send``)."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """Plain-name callee of a call (``zeros(...)`` → ``zeros``)."""
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def receiver_name(call: ast.Call) -> Optional[str]:
+    """Base name of a method call's receiver (``a.b.send()`` → ``a``)."""
+    node = call.func
+    if not isinstance(node, ast.Attribute):
+        return None
+    obj = node.value
+    while isinstance(obj, ast.Attribute):
+        obj = obj.value
+    if isinstance(obj, ast.Name):
+        return obj.id
+    return None
+
+
+def const_int(node: Optional[ast.AST]) -> Optional[int]:
+    """The int value of a literal node, if it is one (bools excluded)."""
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    ):
+        return node.value
+    return None
+
+
+def const_str(node: Optional[ast.AST]) -> Optional[str]:
+    """The str value of a literal node, if it is one."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def statements_in_order(fn: ast.FunctionDef) -> List[ast.stmt]:
+    """Every statement inside ``fn`` (excluding nested functions), in
+    source order — the straight-line approximation the flow-sensitive
+    rules (MPI004) analyze."""
+    out: List[ast.stmt] = []
+
+    def visit(body: List[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # separate scope, analyzed on its own
+            out.append(stmt)
+            for field_name in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, field_name, None)
+                if inner:
+                    visit(inner)
+            for handler in getattr(stmt, "handlers", []) or []:
+                visit(handler.body)
+
+    visit(fn.body)
+    return out
+
+
+def decorator_call(
+    node: ast.AST, name: str
+) -> Optional[Tuple[ast.Call, Dict[str, ast.AST]]]:
+    """Find decorator ``@name(...)`` on a def/class; returns (call, kwargs)."""
+    for dec in getattr(node, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        dec_name = None
+        if isinstance(target, ast.Name):
+            dec_name = target.id
+        elif isinstance(target, ast.Attribute):
+            dec_name = target.attr
+        if dec_name != name:
+            continue
+        if isinstance(dec, ast.Call):
+            kwargs = {kw.arg: kw.value for kw in dec.keywords if kw.arg}
+            return dec, kwargs
+        return ast.Call(func=dec, args=[], keywords=[]), {}
+    return None

@@ -1,0 +1,318 @@
+"""Finding model, rule catalog, suppressions, and baseline handling.
+
+Every analyzer in :mod:`repro.analysis` emits :class:`Finding` records —
+``(rule, path, line, message)`` plus the rule's severity and fix hint
+from the :data:`RULES` catalog.  Two adoption mechanisms keep the gate
+incremental, mirroring how large C++ frameworks (waLBerla included)
+introduce new compile-time checks without a flag-day:
+
+* **Suppression comments** — a line carrying ``# repro: noqa[RULE]``
+  (or a blanket ``# repro: noqa``) silences findings on that line; the
+  rule id keeps suppressions honest and greppable.
+* **Baseline files** — a JSON snapshot of known findings
+  (:func:`write_baseline` / :func:`load_baseline`).  Findings matching
+  a baseline entry (by rule, path, and message — line numbers may
+  drift) are reported separately and do not fail the gate, so the lint
+  can be adopted on a tree that is not yet clean.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "Rule",
+    "RULES",
+    "Finding",
+    "Suppressions",
+    "load_baseline",
+    "write_baseline",
+    "split_baselined",
+]
+
+#: Severity levels, ordered: ``error`` findings fail the gate outright,
+#: ``warning`` findings fail it too but signal style-level confidence.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One rule of the catalog: id, one-line description, and fix hint."""
+
+    id: str
+    title: str
+    severity: str
+    hint: str
+
+
+#: The rule catalog.  ``MPI*`` rules guard the virtual-MPI protocol,
+#: ``KRN*`` rules the kernel zero-allocation/aliasing contracts,
+#: ``HYG*`` rules framework hygiene, and ``TRC*`` rules are emitted by
+#: the dynamic trace-replay verifier (:mod:`repro.analysis.trace`).
+RULES: Dict[str, Rule] = {
+    r.id: r
+    for r in [
+        Rule(
+            "MPI001",
+            "unmatched literal message tag (sent but never received, or "
+            "received but never sent, within the module)",
+            "error",
+            "make the send- and recv-side tag literals agree, or derive "
+            "both from one shared tag function (see comm.ghostlayer."
+            "message_tag)",
+        ),
+        Rule(
+            "MPI002",
+            "isend/irecv request discarded or never completed with "
+            "wait()/test()",
+            "error",
+            "keep the Request and call wait() (or poll test()) before "
+            "the buffer is reused; collect requests in a list and drain "
+            "it after the receive phase",
+        ),
+        Rule(
+            "MPI003",
+            "collective invoked under a rank-dependent conditional "
+            "(divergence deadlocks the world)",
+            "error",
+            "hoist the collective out of the `if rank...` branch so every "
+            "rank reaches it; keep only rank-local work conditional",
+        ),
+        Rule(
+            "MPI004",
+            "send buffer mutated between isend() and its wait() "
+            "(use-after-send)",
+            "error",
+            "complete the request with wait() before touching the buffer, "
+            "or send a copy (np.ascontiguousarray) instead",
+        ),
+        Rule(
+            "KRN001",
+            "heap allocation in a steady-state path declared "
+            "@allocation_free(steady_state=True)",
+            "error",
+            "move the allocation into __init__/a warm-up method, use a "
+            "preallocated scratch buffer with out=, or guard it with a "
+            "lazy-init `if x is None:` warm-up branch",
+        ),
+        Rule(
+            "KRN002",
+            "non-contiguous (strided) view passed as ufunc out= target "
+            "in a split-loop kernel",
+            "warning",
+            "write into a contiguous SoA view (unit-step slices) and "
+            "copy once afterwards if a strided layout is required",
+        ),
+        Rule(
+            "KRN003",
+            "in-place operation reads and writes overlapping views of "
+            "the same array (aliasing hazard)",
+            "error",
+            "stage through a scratch buffer, or prove the slices are "
+            "disjoint and suppress with `# repro: noqa[KRN003]`",
+        ),
+        Rule(
+            "HYG001",
+            "bare `except:` swallows SystemExit/KeyboardInterrupt",
+            "error",
+            "catch a concrete exception type (or `Exception` with a "
+            "re-raise) instead",
+        ),
+        Rule(
+            "HYG002",
+            "mutable default argument (shared across calls)",
+            "error",
+            "default to None and create the list/dict/set inside the "
+            "function body",
+        ),
+        Rule(
+            "HYG003",
+            "timing scope opened but never entered (scoped() result "
+            "discarded: enter/exit imbalance)",
+            "error",
+            "use `with tree.scoped(name):` — the context manager records "
+            "the time only on exit",
+        ),
+        Rule(
+            "HYG004",
+            "counter name not registered in repro.perf.timing "
+            "KNOWN_COUNTERS",
+            "warning",
+            "register the counter with perf.timing.register_counter() so "
+            "reports and the lint agree on the counter vocabulary",
+        ),
+        # -- dynamic (trace replay) rules ---------------------------------
+        Rule(
+            "TRC001",
+            "wait-for-graph cycle: ranks are blocked receiving from each "
+            "other (communication deadlock)",
+            "error",
+            "break the cycle by reordering sends before receives on one "
+            "rank (or use sendrecv/nonblocking receives)",
+        ),
+        Rule(
+            "TRC002",
+            "rank blocked on a receive whose message was never sent "
+            "(tag or peer mismatch hang)",
+            "error",
+            "check the (source, tag) pair against the sender's (dest, "
+            "tag); derive both from one shared tag function",
+        ),
+        Rule(
+            "TRC003",
+            "collective divergence: some ranks entered a barrier/"
+            "collective that other ranks never reached",
+            "error",
+            "ensure every rank executes the same collective sequence; "
+            "hoist collectives out of rank-dependent branches",
+        ),
+        Rule(
+            "TRC004",
+            "send buffer mutated between isend() post and delivery "
+            "(use-after-send race observed at runtime)",
+            "error",
+            "wait() on the request before reusing the buffer, or send a "
+            "copy",
+        ),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer result, locatable and machine-readable."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def severity(self) -> str:
+        """Severity from the rule catalog (``error`` for unknown rules)."""
+        r = RULES.get(self.rule)
+        return r.severity if r is not None else "error"
+
+    @property
+    def hint(self) -> str:
+        """Fix hint from the rule catalog (empty for unknown rules)."""
+        r = RULES.get(self.rule)
+        return r.hint if r is not None else ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (used by the ``--format=json`` reporter)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """One-line ``path:line: RULE [severity] message`` rendering."""
+        return (
+            f"{self.path}:{self.line}: {self.rule} "
+            f"[{self.severity}] {self.message}"
+        )
+
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+@dataclass
+class Suppressions:
+    """Per-line ``# repro: noqa[RULE]`` suppressions of one source file.
+
+    ``lines`` maps a 1-based line number to the set of suppressed rule
+    ids on that line; an empty set means a blanket ``# repro: noqa``
+    (every rule suppressed on the line).
+    """
+
+    lines: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        """Collect suppression comments from ``source``."""
+        out: Dict[int, Set[str]] = {}
+        for i, text in enumerate(source.splitlines(), start=1):
+            m = _NOQA_RE.search(text)
+            if not m:
+                continue
+            rules = m.group("rules")
+            if rules is None:
+                out[i] = set()
+            else:
+                out[i] = {r.strip().upper() for r in rules.split(",") if r.strip()}
+        return cls(out)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True if ``finding`` is silenced by a comment on its line."""
+        rules = self.lines.get(finding.line)
+        if rules is None:
+            return False
+        return not rules or finding.rule in rules
+
+
+# -- baseline ---------------------------------------------------------------
+
+BASELINE_SCHEMA = "repro.lint-baseline/1"
+
+
+def _baseline_key(f: Finding) -> Tuple[str, str, str]:
+    """Baseline identity of a finding: rule + path + message.
+
+    Line numbers are deliberately excluded so unrelated edits above a
+    baselined finding do not resurrect it.
+    """
+    return (f.rule, f.path.replace("\\", "/"), f.message)
+
+
+def load_baseline(path: str) -> Set[Tuple[str, str, str]]:
+    """Load a baseline file into a set of finding keys."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: not a lint baseline (schema {payload.get('schema')!r})"
+        )
+    return {
+        (str(e["rule"]), str(e["path"]), str(e["message"]))
+        for e in payload.get("entries", [])
+    }
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write the baseline snapshot of ``findings``; returns the entry count."""
+    entries = sorted(
+        {_baseline_key(f) for f in findings}
+    )
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {"rule": r, "path": p, "message": m} for (r, p, m) in entries
+        ],
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return len(entries)
+
+
+def split_baselined(
+    findings: List[Finding], baseline: Optional[Set[Tuple[str, str, str]]]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (new, baselined) against a baseline set."""
+    if not baseline:
+        return list(findings), []
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for f in findings:
+        (old if _baseline_key(f) in baseline else new).append(f)
+    return new, old

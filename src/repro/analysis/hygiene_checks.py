@@ -1,0 +1,156 @@
+"""Framework-hygiene checks (rules HYG001--HYG004).
+
+Small, high-confidence lints for failure modes that have bitten large
+Python frameworks:
+
+* **HYG001** — a bare ``except:`` also catches ``SystemExit`` and
+  ``KeyboardInterrupt``, turning Ctrl-C into silent corruption inside a
+  long SPMD run.
+* **HYG002** — mutable default arguments are shared across calls; in a
+  per-rank SPMD context that means shared across *ranks* of the
+  thread-based transport.
+* **HYG003** — ``tree.scoped(name)`` returns a context manager that
+  records time on ``__exit__``; calling it without ``with`` silently
+  records nothing (enter/exit imbalance).
+* **HYG004** — counter names passed to ``add_counter``/``set_counter``
+  must be registered in :data:`repro.perf.timing.KNOWN_COUNTERS` so the
+  reports, the network model, and this lint agree on one vocabulary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from .astutil import attach_parents, call_attr, const_str
+from .findings import Finding
+
+__all__ = ["check"]
+
+#: TimingTree methods that take a counter name as first argument.
+COUNTER_METHODS = {"add_counter", "set_counter"}
+
+
+def _known_counters() -> Set[str]:
+    """The registered counter vocabulary (import deferred so the
+    analyzers stay usable even if :mod:`repro.perf` is unavailable)."""
+    try:
+        from ..perf.timing import KNOWN_COUNTERS
+    except Exception:
+        return set()
+    return set(KNOWN_COUNTERS)
+
+
+def _check_hyg001(path: str, tree: ast.AST) -> List[Finding]:
+    """HYG001 — bare ``except:`` clauses."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(
+                Finding(
+                    "HYG001",
+                    path,
+                    node.lineno,
+                    "bare `except:` catches SystemExit and "
+                    "KeyboardInterrupt",
+                )
+            )
+    return findings
+
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+
+def _check_hyg002(path: str, tree: ast.AST) -> List[Finding]:
+    """HYG002 — mutable default arguments."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+            )
+            if mutable:
+                findings.append(
+                    Finding(
+                        "HYG002",
+                        path,
+                        default.lineno,
+                        f"mutable default argument in '{node.name}' is "
+                        f"shared across calls",
+                    )
+                )
+    return findings
+
+
+def _check_hyg003(path: str, tree: ast.AST) -> List[Finding]:
+    """HYG003 — ``scoped()`` result discarded (never entered)."""
+    findings: List[Finding] = []
+    parents = attach_parents(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if call_attr(node) != "scoped":
+            continue
+        parent = parents.get(node)
+        if isinstance(parent, ast.Expr):
+            findings.append(
+                Finding(
+                    "HYG003",
+                    path,
+                    node.lineno,
+                    "scoped() result discarded: the timing scope is "
+                    "never entered, so nothing is recorded",
+                )
+            )
+    return findings
+
+
+def _check_hyg004(path: str, tree: ast.AST) -> List[Finding]:
+    """HYG004 — unregistered counter names (literal names only)."""
+    known = _known_counters()
+    if not known:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if call_attr(node) not in COUNTER_METHODS:
+            continue
+        name = None
+        if node.args:
+            name = const_str(node.args[0])
+        for kw in node.keywords:
+            if kw.arg == "name":
+                name = const_str(kw.value)
+        if name is None:
+            continue  # dynamic names cannot be checked statically
+        if name not in known:
+            findings.append(
+                Finding(
+                    "HYG004",
+                    path,
+                    node.lineno,
+                    f"counter {name!r} is not registered in "
+                    f"repro.perf.timing.KNOWN_COUNTERS",
+                )
+            )
+    return findings
+
+
+def check(path: str, tree: ast.AST, source: str) -> List[Finding]:
+    """Run the hygiene rules over one module."""
+    del source
+    findings: List[Finding] = []
+    findings.extend(_check_hyg001(path, tree))
+    findings.extend(_check_hyg002(path, tree))
+    findings.extend(_check_hyg003(path, tree))
+    findings.extend(_check_hyg004(path, tree))
+    return findings

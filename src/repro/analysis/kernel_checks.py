@@ -1,0 +1,316 @@
+"""Static kernel-contract checks (rules KRN001--KRN003).
+
+The LBM kernels carry explicit performance contracts (see
+:mod:`repro.lbm.kernels.contracts`): a kernel tier that declares
+``@allocation_free(steady_state=True)`` promises that its steady-state
+path performs **zero heap allocations** — the property the tracemalloc
+pinning tests measure dynamically, and the property the coalesced
+ghost exchange relies on for jitter-free communication.  These checks
+enforce the same contracts statically:
+
+* **KRN001** — no allocating call (``np.zeros``, ``np.empty``,
+  ``.copy()``, ``.astype()``, comprehensions, ...) inside a method of a
+  class (or a function) declared ``@allocation_free(steady_state=True)``,
+  except in ``__init__``, in declared warm-up methods, or under a
+  lazy-init ``if <x> is None:`` guard.
+* **KRN002** — ``out=`` targets of ufunc-style calls must be
+  contiguous: a slice with a literal step other than 1 produces a
+  strided view, which silently de-vectorizes the split loops.
+* **KRN003** — in-place operations must not read and write overlapping
+  views of the same array (``a[1:] += a[:-1]`` reads values already
+  overwritten); stage through scratch instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from .astutil import call_attr, call_name, decorator_call
+from .findings import Finding
+
+__all__ = ["check"]
+
+#: Allocating free functions / np.* attributes.
+ALLOCATING_CALLS = {
+    "zeros",
+    "empty",
+    "ones",
+    "full",
+    "zeros_like",
+    "empty_like",
+    "ones_like",
+    "full_like",
+    "array",
+    "copy",
+    "concatenate",
+    "stack",
+    "vstack",
+    "hstack",
+    "tile",
+    "repeat",
+    "arange",
+    "linspace",
+    "meshgrid",
+}
+
+#: Allocating method calls on arrays.
+ALLOCATING_METHODS = {"copy", "astype", "flatten", "tolist", "ravel"}
+
+#: Comprehension node types (each allocates a fresh container).
+COMPREHENSIONS = (ast.ListComp, ast.DictComp, ast.SetComp)
+
+
+def _steady_state_contract(node: ast.AST) -> bool:
+    """True if ``node`` declares ``@allocation_free(steady_state=True)``."""
+    hit = decorator_call(node, "allocation_free")
+    if hit is None:
+        return False
+    _, kwargs = hit
+    ss = kwargs.get("steady_state")
+    return isinstance(ss, ast.Constant) and ss.value is True
+
+
+def _warmup_names(node: ast.AST) -> Set[str]:
+    """Method names listed in the decorator's ``warmup=(...)`` kwarg."""
+    hit = decorator_call(node, "allocation_free")
+    if hit is None:
+        return set()
+    _, kwargs = hit
+    wu = kwargs.get("warmup")
+    names: Set[str] = set()
+    if isinstance(wu, (ast.Tuple, ast.List)):
+        for elt in wu.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                names.add(elt.value)
+    return names
+
+
+def _under_lazy_init(
+    stack: List[ast.AST],
+) -> bool:
+    """True if any enclosing If on ``stack`` is an ``is None`` lazy guard.
+
+    The canonical warm-up idiom is::
+
+        if self._scratch is None:
+            self._scratch = np.empty(...)   # first call only
+
+    which allocates exactly once and is exempt from KRN001.
+    """
+    for node in stack:
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            return True
+    return False
+
+
+def _is_allocating_call(node: ast.Call) -> Optional[str]:
+    """Name of the allocation if ``node`` allocates, else None."""
+    name = call_name(node)
+    if name in ALLOCATING_CALLS or name in {"list", "dict", "set"}:
+        return name
+    attr = call_attr(node)
+    if attr in ALLOCATING_CALLS or attr in ALLOCATING_METHODS:
+        return attr
+    return None
+
+
+def _scan_steady_function(
+    path: str,
+    fn: ast.FunctionDef,
+    findings: List[Finding],
+) -> None:
+    """Flag allocations inside one steady-state function body."""
+
+    def visit(node: ast.AST, stack: List[ast.AST]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs are their own scope
+            if isinstance(child, ast.Call):
+                alloc = _is_allocating_call(child)
+                if alloc is not None and not _under_lazy_init(stack):
+                    findings.append(
+                        Finding(
+                            "KRN001",
+                            path,
+                            child.lineno,
+                            f"allocating call {alloc}() in steady-state "
+                            f"path '{fn.name}' declared "
+                            f"@allocation_free(steady_state=True)",
+                        )
+                    )
+            if isinstance(child, COMPREHENSIONS) and not _under_lazy_init(
+                stack
+            ):
+                kind = type(child).__name__
+                findings.append(
+                    Finding(
+                        "KRN001",
+                        path,
+                        child.lineno,
+                        f"{kind} allocates a fresh container in "
+                        f"steady-state path '{fn.name}' declared "
+                        f"@allocation_free(steady_state=True)",
+                    )
+                )
+            visit(child, stack + [child])
+
+    visit(fn, [])
+
+
+def _check_krn001(path: str, tree: ast.AST) -> List[Finding]:
+    """KRN001 — heap allocation under a steady-state contract."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and _steady_state_contract(node):
+            exempt = {"__init__"} | _warmup_names(node)
+            for item in node.body:
+                if not isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if item.name in exempt:
+                    continue
+                _scan_steady_function(path, item, findings)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and _steady_state_contract(node):
+            _scan_steady_function(path, node, findings)
+    return findings
+
+
+# -- contiguity of out= targets ---------------------------------------------
+
+
+def _slice_has_stride(sub: ast.Subscript) -> bool:
+    """True if the subscript contains a literal step other than 1."""
+    sl = sub.slice
+    parts = sl.elts if isinstance(sl, ast.Tuple) else [sl]
+    for part in parts:
+        if isinstance(part, ast.Slice) and part.step is not None:
+            step = part.step
+            if isinstance(step, ast.Constant) and step.value in (1, None):
+                continue
+            return True
+    return False
+
+
+def _check_krn002(path: str, tree: ast.AST) -> List[Finding]:
+    """KRN002 — strided view passed as an out= target."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for kw in node.keywords:
+            if kw.arg != "out":
+                continue
+            if isinstance(kw.value, ast.Subscript) and _slice_has_stride(
+                kw.value
+            ):
+                findings.append(
+                    Finding(
+                        "KRN002",
+                        path,
+                        node.lineno,
+                        "out= target is a strided (non-contiguous) view; "
+                        "split-loop kernels require unit-step slices",
+                    )
+                )
+    return findings
+
+
+# -- in-place aliasing ------------------------------------------------------
+
+
+def _subscript_base(node: ast.AST) -> Optional[str]:
+    """Base plain name of a subscript expression (``a[1:]`` → ``a``)."""
+    if not isinstance(node, ast.Subscript):
+        return None
+    base: ast.AST = node.value
+    while isinstance(base, (ast.Subscript, ast.Attribute)):
+        base = base.value
+    if isinstance(base, ast.Name):
+        return base.id
+    return None
+
+
+def _reads_overlapping(value: ast.AST, base: str, target_dump: str) -> bool:
+    """Does ``value`` read a *different* subscript of array ``base``?
+
+    Identical subscripts (``a[:] += a[:]``) are element-aligned and
+    safe for elementwise ops; only shifted/different views alias
+    hazardously.
+    """
+    for node in ast.walk(value):
+        if _subscript_base(node) == base:
+            if ast.dump(node) != target_dump:
+                return True
+    return False
+
+
+def _check_krn003(path: str, tree: ast.AST) -> List[Finding]:
+    """KRN003 — in-place op on overlapping views of the same array."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Subscript
+        ):
+            base = _subscript_base(node.target)
+            if base is None:
+                continue
+            target_dump = ast.dump(node.target)
+            if _reads_overlapping(node.value, base, target_dump):
+                findings.append(
+                    Finding(
+                        "KRN003",
+                        path,
+                        node.lineno,
+                        f"in-place op writes '{base}[...]' while reading a "
+                        f"different view of '{base}' (overlapping views "
+                        f"alias)",
+                    )
+                )
+        elif isinstance(node, ast.Call):
+            out_sub: Optional[ast.Subscript] = None
+            for kw in node.keywords:
+                if kw.arg == "out" and isinstance(kw.value, ast.Subscript):
+                    out_sub = kw.value
+            if out_sub is None:
+                continue
+            base = _subscript_base(out_sub)
+            if base is None:
+                continue
+            target_dump = ast.dump(out_sub)
+            for arg in node.args:
+                if _reads_overlapping(arg, base, target_dump):
+                    findings.append(
+                        Finding(
+                            "KRN003",
+                            path,
+                            node.lineno,
+                            f"out= writes '{base}[...]' while an input "
+                            f"reads a different view of '{base}' "
+                            f"(overlapping views alias)",
+                        )
+                    )
+                    break
+    return findings
+
+
+def check(path: str, tree: ast.AST, source: str) -> List[Finding]:
+    """Run the kernel-contract rules over one module."""
+    del source  # the kernel rules are purely structural
+    findings: List[Finding] = []
+    findings.extend(_check_krn001(path, tree))
+    findings.extend(_check_krn002(path, tree))
+    findings.extend(_check_krn003(path, tree))
+    return findings

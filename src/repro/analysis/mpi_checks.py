@@ -1,0 +1,418 @@
+"""Static vMPI-correctness checks (rules MPI001--MPI004).
+
+The checks operate on the plain AST of any module that talks to
+:mod:`repro.comm` — no code is imported or executed.  They encode the
+protocol discipline that waLBerla enforces at compile time:
+
+* **MPI001** — literal message tags used on the send side must also
+  appear on the receive side of the same module (and vice versa).  A
+  mismatch is the classic silent-hang bug: the receive blocks forever
+  because nothing was ever sent with its tag.
+* **MPI002** — every ``isend``/``irecv`` must keep its
+  :class:`~repro.comm.vmpi.Request` and complete it with ``wait()`` or
+  ``test()``.  A discarded request means the buffer lifetime is
+  unmanaged and completion is never observed.
+* **MPI003** — collectives must be reached by *every* rank.  A
+  collective nested under a rank-dependent conditional diverges the
+  world and deadlocks it.
+* **MPI004** — the buffer handed to ``isend`` must not be mutated
+  before the matching ``wait()``; the transport may not have serialized
+  it yet (use-after-send).
+
+All four checks are deliberately conservative: they only fire on
+patterns they can prove locally (literal tags, straight-line mutation
+between post and wait), so a clean run of the gate carries signal.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from .astutil import (
+    attach_parents,
+    call_attr,
+    const_int,
+    iter_functions,
+    statements_in_order,
+)
+from .findings import Finding
+
+__all__ = ["module_uses_comm", "check"]
+
+#: Method names that post a message on the send side.
+SEND_METHODS = {"send", "isend"}
+#: Method names that consume a message on the receive side.
+RECV_METHODS = {"recv", "irecv"}
+#: Nonblocking calls that return a Request which must be completed.
+NONBLOCKING = {"isend", "irecv"}
+#: Methods that complete a Request.
+COMPLETES = {"wait", "test"}
+#: Collective operations: every rank must reach each call site.
+COLLECTIVES = {
+    "barrier",
+    "bcast",
+    "gather",
+    "allgather",
+    "scatter",
+    "reduce",
+    "allreduce",
+    "alltoall",
+}
+
+_COMM_IMPORT_RE = re.compile(
+    r"^\s*(?:from\s+repro\.comm|import\s+repro\.comm|"
+    r"from\s+\.\.?comm|from\s+repro\s+import\s+comm)",
+    re.MULTILINE,
+)
+
+
+def module_uses_comm(path: str, source: str) -> bool:
+    """Heuristic module gate: does this file talk to the comm layer?
+
+    True when the module imports :mod:`repro.comm` (absolutely or
+    relatively) or lives inside a ``comm/`` directory.  Modules outside
+    the gate skip the MPI rules entirely, so unrelated code that happens
+    to define a ``send`` method is not flagged.
+    """
+    norm = path.replace("\\", "/")
+    if "/comm/" in norm or norm.endswith("/comm.py"):
+        return True
+    return bool(_COMM_IMPORT_RE.search(source))
+
+
+# -- tag extraction ---------------------------------------------------------
+
+
+def _tag_of(call: ast.Call, side: str) -> Optional[int]:
+    """Literal tag of a send/recv call, if one is present.
+
+    vMPI signatures: ``send(obj, dest, tag)`` / ``isend(obj, dest,
+    tag)`` take the tag as the third positional argument;
+    ``recv(source, tag)`` / ``irecv(source, tag)`` as the second.  A
+    ``tag=`` keyword wins on either side.
+    """
+    for kw in call.keywords:
+        if kw.arg == "tag":
+            return const_int(kw.value)
+    index = 2 if side == "send" else 1
+    if len(call.args) > index:
+        return const_int(call.args[index])
+    return None
+
+
+def _check_mpi001(path: str, tree: ast.AST) -> List[Finding]:
+    """MPI001 — unmatched literal tags within one module."""
+    sent: Dict[int, int] = {}  # tag -> first line
+    received: Dict[int, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        attr = call_attr(node)
+        if attr in SEND_METHODS:
+            tag = _tag_of(node, "send")
+            if tag is not None:
+                sent.setdefault(tag, node.lineno)
+        elif attr in RECV_METHODS:
+            tag = _tag_of(node, "recv")
+            if tag is not None:
+                received.setdefault(tag, node.lineno)
+    if not sent or not received:
+        # One-sided modules (pure producer or consumer) pair with a
+        # peer module; cross-module matching is out of scope.
+        return []
+    findings: List[Finding] = []
+    for tag, line in sorted(sent.items()):
+        if tag not in received:
+            findings.append(
+                Finding(
+                    "MPI001",
+                    path,
+                    line,
+                    f"tag {tag} is sent but never received in this module "
+                    f"(receive-side tags: {sorted(received)})",
+                )
+            )
+    for tag, line in sorted(received.items()):
+        if tag not in sent:
+            findings.append(
+                Finding(
+                    "MPI001",
+                    path,
+                    line,
+                    f"tag {tag} is received but never sent in this module "
+                    f"(send-side tags: {sorted(sent)})",
+                )
+            )
+    return findings
+
+
+# -- request lifetime -------------------------------------------------------
+
+
+def _name_targets(node: ast.AST) -> List[str]:
+    """Plain-name assignment targets of an Assign node."""
+    names: List[str] = []
+    if isinstance(node, ast.Assign):
+        for t in node.targets:
+            if isinstance(t, ast.Name):
+                names.append(t.id)
+    return names
+
+
+def _names_read(node: ast.AST) -> Set[str]:
+    """Every Name loaded anywhere inside ``node``."""
+    return {
+        n.id
+        for n in ast.walk(node)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+def _check_mpi002(path: str, tree: ast.AST) -> List[Finding]:
+    """MPI002 — isend/irecv requests discarded or never completed."""
+    findings: List[Finding] = []
+    parents = attach_parents(tree)
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if call_attr(node) not in NONBLOCKING:
+            continue
+        parent = parents.get(node)
+        # Case 1: bare expression statement — the Request is dropped on
+        # the floor immediately.
+        if isinstance(parent, ast.Expr):
+            findings.append(
+                Finding(
+                    "MPI002",
+                    path,
+                    node.lineno,
+                    f"result of {call_attr(node)}() is discarded; the "
+                    f"request can never be completed",
+                )
+            )
+
+    # Case 2: `req = c.isend(...)` where `req` is never read again in
+    # the enclosing function (so no wait()/test() can reach it).  Lists
+    # (`reqs.append(c.isend(...))`) and returns escape the local scope
+    # and are trusted.
+    for fn in iter_functions(tree):
+        stmts = statements_in_order(fn)
+        for i, stmt in enumerate(stmts):
+            if not isinstance(stmt, ast.Assign) or not isinstance(
+                stmt.value, ast.Call
+            ):
+                continue
+            if call_attr(stmt.value) not in NONBLOCKING:
+                continue
+            targets = _name_targets(stmt)
+            if len(targets) != 1:
+                continue
+            name = targets[0]
+            used_later = False
+            for later in stmts[i + 1 :]:
+                reads = _names_read(later)
+                if isinstance(later, ast.Assign) and isinstance(
+                    later.value, ast.Call
+                ):
+                    # Rebinding the same name without reading it first
+                    # still counts as "unused" for the original request,
+                    # but a read anywhere (incl. in the rebind RHS)
+                    # clears it.
+                    pass
+                if name in reads:
+                    used_later = True
+                    break
+            if not used_later:
+                findings.append(
+                    Finding(
+                        "MPI002",
+                        path,
+                        stmt.lineno,
+                        f"request '{name}' from {call_attr(stmt.value)}() "
+                        f"is never completed with wait()/test()",
+                    )
+                )
+    return findings
+
+
+# -- collective divergence --------------------------------------------------
+
+
+def _test_is_rank_dependent(test: ast.AST) -> bool:
+    """Does a conditional's test expression depend on the rank?
+
+    Matches any ``.rank`` attribute access (``comm.rank``, ``self.rank``)
+    or a plain ``rank`` name anywhere in the expression.
+    """
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "rank":
+            return True
+        if isinstance(node, ast.Name) and node.id == "rank":
+            return True
+    return False
+
+
+def _check_mpi003(path: str, tree: ast.AST) -> List[Finding]:
+    """MPI003 — collectives under rank-dependent conditionals."""
+    findings: List[Finding] = []
+    parents = attach_parents(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        attr = call_attr(node)
+        if attr not in COLLECTIVES:
+            continue
+        # Walk up to the enclosing function/module, looking for a
+        # rank-dependent If/While on the way.
+        cursor: Optional[ast.AST] = parents.get(node)
+        child: ast.AST = node
+        while cursor is not None and not isinstance(
+            cursor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+        ):
+            if isinstance(cursor, (ast.If, ast.While)):
+                # Only flag when the call is in the body/orelse, not
+                # when it is part of the test expression itself.
+                in_test = False
+                for t in ast.walk(cursor.test):
+                    if t is child or t is node:
+                        in_test = True
+                        break
+                if not in_test and _test_is_rank_dependent(cursor.test):
+                    findings.append(
+                        Finding(
+                            "MPI003",
+                            path,
+                            node.lineno,
+                            f"collective {attr}() is guarded by a "
+                            f"rank-dependent conditional on line "
+                            f"{cursor.lineno}; ranks that skip it "
+                            f"deadlock the others",
+                        )
+                    )
+                    break
+            child = cursor
+            cursor = parents.get(cursor)
+    return findings
+
+
+# -- use-after-send ---------------------------------------------------------
+
+
+def _buffer_arg(call: ast.Call) -> Optional[str]:
+    """Plain-name buffer argument of an isend call (first positional)."""
+    if call.args and isinstance(call.args[0], ast.Name):
+        return call.args[0].id
+    return None
+
+
+def _mutations_of(stmt: ast.stmt, name: str) -> bool:
+    """Does ``stmt`` mutate the array bound to ``name``?
+
+    Conservative set: subscript stores (``buf[...] = x``), augmented
+    assignment to the name or a subscript of it, ``out=buf`` ufunc
+    keywords, and in-place method calls (``buf.fill(...)``,
+    ``buf.sort()``).
+    """
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for t in targets:
+                base: ast.AST = t
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                if isinstance(base, ast.Name) and base.id == name:
+                    # A plain rebinding (`buf = ...`) is NOT a mutation
+                    # of the sent object; only stores through it are.
+                    if not isinstance(t, ast.Name):
+                        return True
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg == "out":
+                    base = kw.value
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        base = base.value
+                    if isinstance(base, ast.Name) and base.id == name:
+                        return True
+            if isinstance(node.func, ast.Attribute) and call_attr(node) in {
+                "fill",
+                "sort",
+                "partition",
+                "put",
+            }:
+                base = node.func.value
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                if isinstance(base, ast.Name) and base.id == name:
+                    return True
+    return False
+
+
+def _completes_request(stmt: ast.stmt, req: str) -> bool:
+    """Does ``stmt`` call ``req.wait()`` / ``req.test()`` (directly)?"""
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        if call_attr(node) not in COMPLETES:
+            continue
+        base = node.func.value  # type: ignore[union-attr]
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            base = base.value
+        if isinstance(base, ast.Name) and base.id == req:
+            return True
+    return False
+
+
+def _check_mpi004(path: str, tree: ast.AST) -> List[Finding]:
+    """MPI004 — send buffer mutated between isend() and its wait()."""
+    findings: List[Finding] = []
+    for fn in iter_functions(tree):
+        stmts = statements_in_order(fn)
+        # Map request-name -> (buffer-name, isend line) for open sends.
+        open_sends: Dict[str, Tuple[str, int]] = {}
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign) and isinstance(
+                stmt.value, ast.Call
+            ):
+                call = stmt.value
+                if call_attr(call) == "isend":
+                    buf = _buffer_arg(call)
+                    targets = _name_targets(stmt)
+                    if buf and len(targets) == 1:
+                        open_sends[targets[0]] = (buf, stmt.lineno)
+                        continue
+            # Completion closes the window.
+            for req in list(open_sends):
+                if _completes_request(stmt, req):
+                    del open_sends[req]
+            # Mutation inside an open window fires the rule.
+            for req, (buf, line) in list(open_sends.items()):
+                if _mutations_of(stmt, buf):
+                    findings.append(
+                        Finding(
+                            "MPI004",
+                            path,
+                            stmt.lineno,
+                            f"buffer '{buf}' is mutated before request "
+                            f"'{req}' (isend on line {line}) is completed "
+                            f"with wait()",
+                        )
+                    )
+                    del open_sends[req]
+    return findings
+
+
+def check(path: str, tree: ast.AST, source: str) -> List[Finding]:
+    """Run the MPI rules over one module (gated on comm usage)."""
+    if not module_uses_comm(path, source):
+        return []
+    findings: List[Finding] = []
+    findings.extend(_check_mpi001(path, tree))
+    findings.extend(_check_mpi002(path, tree))
+    findings.extend(_check_mpi003(path, tree))
+    findings.extend(_check_mpi004(path, tree))
+    return findings

@@ -1,0 +1,76 @@
+"""Text and JSON reporters for lint findings.
+
+The text reporter is for humans at a terminal (grouped by file, with
+fix hints); the JSON reporter (``--format=json``) is the machine
+interface consumed by CI — schema ``repro.lint-report/1`` with the full
+finding list, per-rule totals, and the gate verdict.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .findings import RULES, Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def _rule_counts(findings: List[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(
+    findings: List[Finding],
+    baselined: List[Finding],
+    files_checked: int,
+) -> str:
+    """Human-readable report: findings grouped by file, hints inline."""
+    lines: List[str] = []
+    by_path: Dict[str, List[Finding]] = {}
+    for f in findings:
+        by_path.setdefault(f.path, []).append(f)
+    for path in sorted(by_path):
+        for f in sorted(by_path[path], key=lambda x: (x.line, x.rule)):
+            lines.append(f.render())
+            if f.hint:
+                lines.append(f"    hint: {f.hint}")
+    if findings:
+        lines.append("")
+    counts = _rule_counts(findings)
+    summary = ", ".join(f"{r}×{n}" for r, n in counts.items()) or "none"
+    lines.append(
+        f"repro lint: {len(findings)} finding(s) in {files_checked} "
+        f"file(s) ({summary})"
+    )
+    if baselined:
+        lines.append(
+            f"  {len(baselined)} additional finding(s) suppressed by the "
+            f"baseline"
+        )
+    lines.append("gate: " + ("FAIL" if findings else "ok"))
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: List[Finding],
+    baselined: List[Finding],
+    files_checked: int,
+) -> str:
+    """Machine-readable report (schema ``repro.lint-report/1``)."""
+    payload = {
+        "schema": "repro.lint-report/1",
+        "files_checked": files_checked,
+        "ok": not findings,
+        "counts": _rule_counts(findings),
+        "rules": {
+            rid: {"title": r.title, "severity": r.severity}
+            for rid, r in RULES.items()
+        },
+        "findings": [f.to_dict() for f in findings],
+        "baselined": [f.to_dict() for f in baselined],
+    }
+    return json.dumps(payload, indent=2)

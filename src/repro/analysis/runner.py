@@ -1,0 +1,115 @@
+"""Lint driver: file discovery, analyzer dispatch, suppressions, baseline.
+
+This is the engine behind ``python -m repro lint``.  It walks the
+requested paths, parses each Python file once, hands the tree to every
+analyzer, filters findings through per-line ``# repro: noqa[RULE]``
+comments, splits the remainder against an optional baseline file, and
+returns a :class:`LintResult` the CLI renders with
+:mod:`repro.analysis.reporting`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set, Tuple
+
+from . import hygiene_checks, kernel_checks, mpi_checks
+from .findings import Finding, Suppressions, load_baseline, split_baselined
+
+__all__ = ["LintResult", "iter_python_files", "lint_file", "lint_paths"]
+
+#: Directory names never descended into.
+SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".venv",
+    "venv",
+    "build",
+    "dist",
+    ".pytest_cache",
+}
+
+#: The static analyzers, in report order.  Each exposes
+#: ``check(path, tree, source) -> List[Finding]``.
+ANALYZERS = (mpi_checks, kernel_checks, hygiene_checks)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run.
+
+    ``findings`` fail the gate; ``baselined`` are known pre-existing
+    findings matched against the baseline file; ``errors`` are files
+    that could not be parsed (reported, and they fail the gate too —
+    a syntax error is never clean).
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the gate passes (no new findings, no parse errors)."""
+        return not self.findings and not self.errors
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            out.add(path)
+            continue
+        for root, dirs, names in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d not in SKIP_DIRS)
+            for name in sorted(names):
+                if name.endswith(".py"):
+                    out.add(os.path.join(root, name))
+    return sorted(out)
+
+
+def lint_file(path: str) -> Tuple[List[Finding], Optional[str]]:
+    """Analyze one file; returns (findings, parse-error-or-None).
+
+    Findings suppressed by a same-line ``# repro: noqa[...]`` comment
+    are dropped here, so suppression state never leaks out of the file
+    that declares it.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        tree = ast.parse(source, filename=path)
+    except (OSError, SyntaxError, ValueError) as exc:
+        return [], f"{path}: cannot analyze: {exc}"
+    norm = path.replace("\\", "/")
+    findings: List[Finding] = []
+    for analyzer in ANALYZERS:
+        findings.extend(analyzer.check(norm, tree, source))
+    supp = Suppressions.scan(source)
+    kept = [f for f in findings if not supp.suppresses(f)]
+    kept.sort(key=lambda f: (f.line, f.rule))
+    return kept, None
+
+
+def lint_paths(
+    paths: Iterable[str], baseline_path: Optional[str] = None
+) -> LintResult:
+    """Lint every Python file under ``paths`` against an optional baseline."""
+    result = LintResult()
+    baseline = load_baseline(baseline_path) if baseline_path else None
+    all_findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings, error = lint_file(path)
+        result.files_checked += 1
+        if error is not None:
+            result.errors.append(error)
+            continue
+        all_findings.extend(findings)
+    result.findings, result.baselined = split_baselined(
+        all_findings, baseline
+    )
+    return result

@@ -1,0 +1,315 @@
+"""Dynamic trace replay: deadlock and race detection on vMPI traces.
+
+The static rules (``MPI00x``) prove what they can from source; this
+module verifies what only execution shows.  A
+:class:`TraceRecorder` attached to a :class:`~repro.comm.vmpi.VirtualMPI`
+world (``VirtualMPI(size, trace=recorder)``) records every
+point-to-point post/delivery/receive and every barrier entry/exit with
+negligible overhead, and :func:`analyze_trace` replays the record
+through three detectors:
+
+* **TRC001 — wait-for-graph cycles.**  Every rank left blocked in a
+  receive contributes an edge ``waiter → awaited source``; a cycle whose
+  members are all blocked is a communication deadlock (the classic
+  send/send or recv/recv cycle).
+* **TRC002 — receive never satisfied.**  A blocked receive outside any
+  cycle means the matching message was never sent: a tag or peer
+  mismatch hang.  The finding lists what *was* delivered on nearby
+  channels to make the mismatch visible.
+* **TRC003 — collective divergence.**  A rank left blocked inside a
+  barrier while other ranks ran past it (different barrier entry
+  counts) is the runtime shadow of static rule MPI003.
+* **TRC004 — use-after-send.**  Each ``isend`` fingerprints its payload
+  at post time (CRC-32 of the pickled object) and again at delivery;
+  a mismatch means the buffer was mutated inside the nonblocking
+  window — a race the thread-based transport surfaces immediately but
+  real MPI would only corrupt silently.
+
+Blocked state is judged from each rank's *final* events only, so
+protocol-internal retries (a :class:`~repro.comm.vmpi.ReliableComm`
+timeout that is later satisfied) never produce false positives: a rank
+that finishes its program clears every pending wait.  This is what lets
+the 20-seed chaos corpus replay clean while seeded deadlock
+micro-programs are caught.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .findings import Finding
+
+__all__ = ["TraceEvent", "TraceRecorder", "analyze_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded transport event.
+
+    ``kind`` is one of ``isend_post``, ``deliver``, ``recv_start``,
+    ``recv_done``, ``barrier_start``, ``barrier_done``, ``finish``,
+    ``error``; the remaining fields are kind-dependent (``None`` where
+    not applicable).  ``source``/``tag`` may be the string ``"ANY"``
+    for wildcard receives.
+    """
+
+    kind: str
+    rank: int
+    source: Optional[Any] = None
+    dest: Optional[int] = None
+    tag: Optional[Any] = None
+    token: Optional[int] = None
+    fingerprint: Optional[int] = None
+    detail: str = ""
+
+
+def _fingerprint(obj: Any) -> Optional[int]:
+    """CRC-32 of the pickled payload; ``None`` if unpicklable."""
+    try:
+        return zlib.crc32(pickle.dumps(obj, protocol=4))
+    except Exception:
+        return None
+
+
+@dataclass
+class TraceRecorder:
+    """Thread-safe event sink attached to a virtual-MPI world.
+
+    The transport calls :meth:`record` from every rank thread; events
+    are appended under a lock in arrival order.  ``fingerprints=False``
+    disables payload pickling (cheaper, loses TRC004 coverage).
+    """
+
+    fingerprints: bool = True
+    events: List[TraceEvent] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def record(self, kind: str, rank: int, **fields: Any) -> None:
+        """Append one event (thread-safe)."""
+        with self._lock:
+            self.events.append(TraceEvent(kind=kind, rank=rank, **fields))
+
+    def payload_fingerprint(self, obj: Any) -> Optional[int]:
+        """Fingerprint a payload (or ``None`` when disabled)."""
+        if not self.fingerprints:
+            return None
+        return _fingerprint(obj)
+
+    def clear(self) -> None:
+        """Drop all recorded events (fresh trace for the next run)."""
+        with self._lock:
+            self.events.clear()
+
+    def snapshot(self) -> List[TraceEvent]:
+        """A consistent copy of the event list."""
+        with self._lock:
+            return list(self.events)
+
+
+# -- replay -----------------------------------------------------------------
+
+
+@dataclass
+class _RankState:
+    """Final per-rank state reconstructed from the trace."""
+
+    finished: bool = False
+    errored: Optional[str] = None
+    last_wait: Optional[TraceEvent] = None  # open recv/barrier at the end
+    barrier_entries: int = 0
+
+    @property
+    def blocked_kind(self) -> Optional[str]:
+        """``recv``/``barrier`` if the rank ended inside a wait."""
+        if self.finished or self.last_wait is None:
+            return None
+        if self.last_wait.kind == "recv_start":
+            return "recv"
+        if self.last_wait.kind == "barrier_start":
+            return "barrier"
+        return None
+
+
+def _rank_states(events: List[TraceEvent]) -> Dict[int, _RankState]:
+    """Reduce the event stream to each rank's final state.
+
+    A ``recv_done``/``barrier_done`` closes the matching open wait; a
+    ``finish`` clears everything (the program returned, so no wait is
+    outstanding) — which is exactly why protocol-internal timeouts that
+    are later recovered never look like deadlocks.
+    """
+    states: Dict[int, _RankState] = {}
+    for ev in events:
+        st = states.setdefault(ev.rank, _RankState())
+        if ev.kind in ("recv_start", "barrier_start"):
+            st.last_wait = ev
+            if ev.kind == "barrier_start":
+                st.barrier_entries += 1
+        elif ev.kind in ("recv_done", "barrier_done"):
+            st.last_wait = None
+        elif ev.kind == "finish":
+            st.finished = True
+            st.last_wait = None
+        elif ev.kind == "error":
+            st.errored = ev.detail
+    return states
+
+
+def _delivered_channels(
+    events: List[TraceEvent],
+) -> Dict[int, List[Tuple[int, Any]]]:
+    """Per-destination list of ``(source, tag)`` deliveries, in order."""
+    out: Dict[int, List[Tuple[int, Any]]] = {}
+    for ev in events:
+        if ev.kind == "deliver":
+            out.setdefault(ev.dest, []).append((ev.rank, ev.tag))
+    return out
+
+
+def _find_cycles(edges: Dict[int, int]) -> List[List[int]]:
+    """Cycles in a functional wait-for graph (each waiter has one edge)."""
+    cycles: List[List[int]] = []
+    seen: set = set()
+    for start in sorted(edges):
+        if start in seen:
+            continue
+        path: List[int] = []
+        pos: Dict[int, int] = {}
+        node: Optional[int] = start
+        while node is not None and node not in seen:
+            if node in pos:
+                cycles.append(path[pos[node] :])
+                break
+            pos[node] = len(path)
+            path.append(node)
+            node = edges.get(node)
+        seen.update(path)
+    return cycles
+
+
+def analyze_trace(
+    trace: "TraceRecorder | List[TraceEvent]",
+    path: str = "<trace>",
+) -> List[Finding]:
+    """Replay a recorded trace; return TRC001--TRC004 findings.
+
+    ``path`` labels the findings (there is no source file for a dynamic
+    result, so callers pass the scenario name).
+    """
+    events = trace.snapshot() if isinstance(trace, TraceRecorder) else list(trace)
+    findings: List[Finding] = []
+    states = _rank_states(events)
+    delivered = _delivered_channels(events)
+
+    # -- TRC004: use-after-send races (independent of blocking state) ----
+    posted: Dict[int, TraceEvent] = {}
+    for ev in events:
+        if ev.kind == "isend_post" and ev.token is not None:
+            posted[ev.token] = ev
+    for ev in events:
+        if ev.kind != "deliver" or ev.token is None:
+            continue
+        post = posted.get(ev.token)
+        if post is None:
+            continue
+        if (
+            post.fingerprint is not None
+            and ev.fingerprint is not None
+            and post.fingerprint != ev.fingerprint
+        ):
+            findings.append(
+                Finding(
+                    "TRC004",
+                    path,
+                    0,
+                    f"rank {ev.rank}: buffer of isend(dest={ev.dest}, "
+                    f"tag={ev.tag}) was mutated between post and delivery "
+                    f"(fingerprint {post.fingerprint:#x} -> "
+                    f"{ev.fingerprint:#x})",
+                )
+            )
+
+    # -- blocked ranks ----------------------------------------------------
+    # A fault-injected crash aborts the whole world: every other rank is
+    # yanked out of whatever wait it was in (_AbortError / broken
+    # barrier).  Those are casualties of the crash, not deadlocks, so
+    # blocking analysis is skipped for the entire run.
+    if any(st.errored == "RankCrashedError" for st in states.values()):
+        return findings
+    # Note that a rank aborted *while* waiting (the first timeout
+    # breaks every mailbox, so its peers die with an abort error, not
+    # their own timeout) still counts as blocked: it genuinely was.
+    blocked_recv = {
+        r: st.last_wait
+        for r, st in states.items()
+        if st.blocked_kind == "recv" and st.last_wait is not None
+    }
+    blocked_barrier = {
+        r: st for r, st in states.items() if st.blocked_kind == "barrier"
+    }
+
+    # -- TRC001: wait-for-graph cycles ------------------------------------
+    edges: Dict[int, int] = {}
+    for r, ev in blocked_recv.items():
+        if isinstance(ev.source, int):
+            edges[r] = ev.source
+    cycles = [
+        cyc
+        for cyc in _find_cycles(edges)
+        if len(cyc) > 1 and all(n in blocked_recv for n in cyc)
+    ]
+    in_cycle: set = set()
+    for cyc in cycles:
+        in_cycle.update(cyc)
+        chain = " -> ".join(str(n) for n in cyc + [cyc[0]])
+        findings.append(
+            Finding(
+                "TRC001",
+                path,
+                0,
+                f"wait-for-graph cycle: ranks {chain} are each blocked "
+                f"receiving from the next (communication deadlock)",
+            )
+        )
+
+    # -- TRC002: blocked receive with no matching send --------------------
+    for r, ev in sorted(blocked_recv.items()):
+        if r in in_cycle:
+            continue
+        got = delivered.get(r, [])
+        src = ev.source
+        tag = ev.tag
+        seen_tags = sorted(
+            {t for (s, t) in got if src == "ANY" or s == src},
+            key=repr,
+        )
+        findings.append(
+            Finding(
+                "TRC002",
+                path,
+                0,
+                f"rank {r} blocked receiving (source={src}, tag={tag}) "
+                f"but no matching message was outstanding; tags delivered "
+                f"from that source: {seen_tags or 'none'}",
+            )
+        )
+
+    # -- TRC003: collective divergence ------------------------------------
+    if blocked_barrier:
+        entries = {r: st.barrier_entries for r, st in states.items()}
+        for r, st in sorted(blocked_barrier.items()):
+            findings.append(
+                Finding(
+                    "TRC003",
+                    path,
+                    0,
+                    f"rank {r} blocked in barrier entry "
+                    f"#{st.barrier_entries} that other ranks never "
+                    f"reached (barrier entry counts: {entries})",
+                )
+            )
+    return findings

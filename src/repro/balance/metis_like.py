@@ -21,7 +21,7 @@ baselines (lower edge cut at comparable imbalance).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import networkx as nx
 import numpy as np

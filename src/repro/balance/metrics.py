@@ -4,7 +4,6 @@ per-rank communication volume."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 import numpy as np
 

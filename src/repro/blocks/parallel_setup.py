@@ -30,7 +30,7 @@ from ..geometry.implicit import ImplicitGeometry
 from ..geometry.voxelize import BlockCoverage
 from .block import SetupBlock
 from .blockid import BlockId
-from .fileio import load_forest, save_forest
+from .fileio import load_forest
 from .setup import SetupBlockForest, _classify_and_count
 
 __all__ = [

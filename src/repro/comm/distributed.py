@@ -28,7 +28,7 @@ from ..core.timeloop import TimeLoop
 from ..errors import ConfigurationError, NumericalError
 from ..geometry.implicit import ImplicitGeometry
 from ..geometry.voxelize import ColorMap, voxelize_block
-from ..lbm.boundary import BoundaryHandling, Condition, NoSlip, PressureABB, UBB
+from ..lbm.boundary import BoundaryHandling, Condition, NoSlip
 from ..lbm.collision import SRT, TRT
 from ..lbm.kernels.common import interior_partition
 from ..lbm.kernels.registry import (

@@ -47,7 +47,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..errors import ConfigurationError, RankCrashedError
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time
 from contextlib import nullcontext
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 

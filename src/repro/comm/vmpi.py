@@ -198,16 +198,54 @@ class Comm:
         self.rank = rank
         self._parent = parent
         # FIFO of posted-but-undelivered isend payloads (progress-engine
-        # style: delivery happens at the next progress point).
-        self._pending_sends: List[Tuple[Any, int, int]] = []
+        # style: delivery happens at the next progress point).  Each
+        # entry is (obj, dest, tag, trace_token) — the token is None
+        # unless a trace recorder is attached.
+        self._pending_sends: List[Tuple[Any, int, int, Optional[Any]]] = []
+        self._isend_count = 0
+
+    # -- trace hooks --------------------------------------------------------
+    def _trace(self, kind: str, **fields: Any) -> None:
+        """Record one transport event if a trace recorder is attached.
+
+        ``source``/``tag`` wildcards are normalized to the string
+        ``"ANY"`` so events stay printable and comparable.
+        """
+        rec = self._parent.trace
+        if rec is None:
+            return
+        for key in ("source", "tag"):
+            if fields.get(key) is _ANY:
+                fields[key] = "ANY"
+        rec.record(kind, self.rank, **fields)
 
     @property
     def size(self) -> int:
         return self._parent.size
 
     # -- point to point -----------------------------------------------------
-    def _deliver(self, obj: Any, dest: int, tag: int) -> None:
-        """Hand one message to the destination mailbox (fault-aware)."""
+    def _deliver(
+        self, obj: Any, dest: int, tag: int, token: Optional[Any] = None
+    ) -> None:
+        """Hand one message to the destination mailbox (fault-aware).
+
+        The trace event is recorded *here*, before fault routing: a
+        delayed, duplicated, or dropped copy downstream is the fault
+        injector's business, but the payload fingerprint taken at this
+        point closes the isend use-after-send window (TRC004) exactly —
+        the buffer may be reused once delivery has begun.
+        """
+        rec = self._parent.trace
+        if rec is not None:
+            self._trace(
+                "deliver",
+                dest=dest,
+                tag=tag,
+                token=token,
+                fingerprint=(
+                    rec.payload_fingerprint(obj) if token is not None else None
+                ),
+            )
         faults = self._parent.faults
         if faults is None:
             self._parent._mailboxes[dest].put(self.rank, tag, obj)
@@ -226,8 +264,8 @@ class Comm:
         deadlock its peers.
         """
         while self._pending_sends:
-            obj, dest, tag = self._pending_sends.pop(0)
-            self._deliver(obj, dest, tag)
+            obj, dest, tag, token = self._pending_sends.pop(0)
+            self._deliver(obj, dest, tag, token)
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         self._parent._check_rank(dest)
@@ -240,10 +278,12 @@ class Comm:
     ) -> Any:
         """Blocking receive; ``timeout`` overrides the world default."""
         self.progress()
-        _, _, payload = self._parent._mailboxes[self.rank].get(
+        self._trace("recv_start", source=source, tag=tag)
+        s, t, payload = self._parent._mailboxes[self.rank].get(
             source, tag,
             self._parent.timeout if timeout is None else timeout,
         )
+        self._trace("recv_done", source=s, tag=t)
         return payload
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -255,7 +295,19 @@ class Comm:
         buffer may be reused, mirroring MPI_Isend completion semantics.
         """
         self._parent._check_rank(dest)
-        self._pending_sends.append((obj, dest, tag))
+        token: Optional[Any] = None
+        rec = self._parent.trace
+        if rec is not None:
+            self._isend_count += 1
+            token = (self.rank, self._isend_count)
+            self._trace(
+                "isend_post",
+                dest=dest,
+                tag=tag,
+                token=token,
+                fingerprint=rec.payload_fingerprint(obj),
+            )
+        self._pending_sends.append((obj, dest, tag, token))
         return Request(lambda: self.progress())
 
     def irecv(self, source: Any = _ANY, tag: Any = _ANY) -> Request:
@@ -320,7 +372,9 @@ class Comm:
     def barrier(self) -> None:
         self.progress()
         self._flush_faults()
+        self._trace("barrier_start")
         self._parent._barrier.wait(timeout=self._parent.timeout)
+        self._trace("barrier_done")
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         self._parent._check_rank(root)
@@ -562,12 +616,19 @@ class VirtualMPI:
     schedule of each program is a pure function of its seed.
     """
 
-    def __init__(self, size: int, timeout: float = 60.0, faults=None):
+    def __init__(
+        self, size: int, timeout: float = 60.0, faults=None, trace=None
+    ):
         if size < 1:
             raise CommunicationError("need at least one rank")
         self.size = size
         self.timeout = timeout
         self.faults = faults
+        #: Optional :class:`repro.analysis.trace.TraceRecorder`; when
+        #: set, every post/delivery/receive/barrier event is recorded
+        #: for the dynamic deadlock/race verifier.  ``None`` (the
+        #: default) keeps the hot path hook-free.
+        self.trace = trace
         self._mailboxes = [_Mailbox() for _ in range(size)]
         self._barrier = threading.Barrier(size)
         self._collectives: Dict[str, Dict] = {}
@@ -615,8 +676,14 @@ class VirtualMPI:
         def worker(rank: int):
             try:
                 results[rank] = program(Comm(rank, self))
+                if self.trace is not None:
+                    self.trace.record("finish", rank)
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 errors[rank] = exc
+                if self.trace is not None:
+                    self.trace.record(
+                        "error", rank, detail=type(exc).__name__
+                    )
                 self._abort()
 
         threads = [

@@ -7,7 +7,6 @@ non-fluid cells, as the simulation drivers produce them).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ example applications; distributed multi-block simulations build on
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 

@@ -24,7 +24,7 @@ triangle mesh (tubes per segment) for the mesh-based code paths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ import numpy as np
 from ..constants import D3Q19_BYTES_PER_CELL_WRITE_ALLOCATE
 from ..lbm.collision import SRT, TRT
 from ..perf.ecm import EcmModel
-from ..perf.machines import JUQUEEN, SUPERMUC, MachineSpec
+from ..perf.machines import JUQUEEN, SUPERMUC
 from ..perf.roofline import machine_roofline
 from ..perf.scaling import (
     NodeConfig,

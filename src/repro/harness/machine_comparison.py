@@ -9,7 +9,6 @@ the machine-scale outcomes of the scaling studies.
 from __future__ import annotations
 
 from ..constants import GIB
-from ..perf.ecm import EcmModel
 from ..perf.machines import JUQUEEN, SUPERMUC
 from ..perf.roofline import machine_roofline
 from ..perf.scaling import NodeConfig, node_kernel_mlups, weak_scaling_dense
@@ -26,11 +25,8 @@ def machine_comparison() -> FigureResult:
     configs = {"SuperMUC": NodeConfig(4, 4), "JUQUEEN": NodeConfig(16, 4)}
     cells = {"SuperMUC": 3_430_000, "JUQUEEN": 1_728_000}
     for m in (SUPERMUC, JUQUEEN):
-        ecm = EcmModel(m)
         cfg = configs[m.name]
-        smt = cfg.smt_level(m)
         node = node_kernel_mlups(m, cfg)
-        socket = ecm.predict(m.cores_per_socket, smt=smt)
         weak = weak_scaling_dense(m, cfg, cells[m.name], [m.total_cores])[0]
         power = m.socket_power(m.clock_hz) * m.sockets_per_node
         series[m.name] = {

@@ -36,7 +36,7 @@ from __future__ import annotations
 import json
 import os
 import zlib
-from typing import Any, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ readers choke on NaN.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, TextIO, Union
+from typing import Dict, Optional, TextIO
 
 import numpy as np
 

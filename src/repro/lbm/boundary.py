@@ -20,8 +20,8 @@ from the wall cell ``w`` into the fluid cell ``x = w + e_a``:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -32,7 +32,6 @@ from ..errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.flags import FlagField
-from .collision import SRT, TRT
 from .lattice import LatticeModel
 
 __all__ = ["NoSlip", "UBB", "PressureABB", "BoundaryHandling"]

@@ -2,6 +2,7 @@
 strategies (see §4.1 and §4.3)."""
 
 from .common import alloc_pdf_field, interior_slices, pdf_shape, pull_slices
+from .contracts import allocation_free, contract_of
 from .d3q19 import d3q19_step
 from .generic import generic_step
 from .reference import reference_step
@@ -16,6 +17,7 @@ from .vectorized import VectorizedD3Q19Kernel
 
 __all__ = [
     "alloc_pdf_field", "interior_slices", "pdf_shape", "pull_slices",
+    "allocation_free", "contract_of",
     "d3q19_step", "generic_step", "reference_step",
     "KERNEL_TIERS", "make_kernel",
     "ConditionalSparseKernel", "IndexListSparseKernel", "IntervalSparseKernel",

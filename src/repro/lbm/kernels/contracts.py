@@ -1,0 +1,83 @@
+"""Explicit performance contracts for kernel tiers.
+
+The paper's fastest kernels are fast *because* their steady state
+touches no allocator: every temporary is preallocated and every pass
+streams through memory in place (§4.1).  That property is easy to lose
+silently — one innocent ``.copy()`` in a hot loop survives every unit
+test and costs 20 % MLUPS.  :func:`allocation_free` turns the property
+into a declared, machine-checked contract:
+
+* the **static** kernel-contract checker (rule ``KRN001`` in
+  :mod:`repro.analysis.kernel_checks`) forbids allocating calls and
+  comprehensions in the decorated object's steady-state paths, and
+* the **dynamic** tracemalloc cross-check
+  (``tests/analysis/test_contracts.py``) pins the same promise at
+  runtime, so the decorator can never drift from reality.
+
+Tiers that allocate *by design* (``generic`` materializes full-field
+temporaries, that is what makes it the slowest tier) declare
+``steady_state=False`` with a ``reason`` — the contract is then purely
+documentary and the checker leaves the tier alone.  Honest annotation
+beats aspirational annotation: a ``steady_state=True`` claim on an
+allocating kernel fails both the static and the dynamic check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence, TypeVar
+
+__all__ = ["allocation_free", "contract_of"]
+
+T = TypeVar("T")
+
+#: Attribute under which the contract dict is stored on the decorated
+#: class or function (read back by :func:`contract_of` and forwarded by
+#: the kernel registry wrappers).
+CONTRACT_ATTR = "__allocation_free__"
+
+
+def allocation_free(
+    steady_state: bool,
+    reason: Optional[str] = None,
+    warmup: Sequence[str] = (),
+) -> Callable[[T], T]:
+    """Declare a kernel's steady-state allocation behaviour.
+
+    Parameters
+    ----------
+    steady_state:
+        ``True`` promises that, after warm-up, a call performs no heap
+        allocation of field-sized temporaries.  ``False`` documents that
+        the tier allocates by design (give a ``reason``).
+    reason:
+        Why a ``steady_state=False`` tier allocates — shown in docs and
+        required by the contract test for honest annotation.
+    warmup:
+        Method names exempt from the static check: they may allocate,
+        but only on first use (the lazy ``if x is None:`` idiom).
+    """
+
+    def decorate(obj: T) -> T:
+        setattr(
+            obj,
+            CONTRACT_ATTR,
+            {
+                "steady_state": bool(steady_state),
+                "reason": reason,
+                "warmup": tuple(warmup),
+            },
+        )
+        return obj
+
+    return decorate
+
+
+def contract_of(obj: Any) -> Optional[Dict[str, Any]]:
+    """The allocation contract of a kernel (or wrapper), if declared.
+
+    Works through the registry wrappers: :class:`InstrumentedKernel`
+    forwards attributes to the wrapped kernel and
+    :class:`_StatelessKernel` copies the contract from its step
+    function, so the caller never needs to unwrap anything.
+    """
+    return getattr(obj, CONTRACT_ATTR, None)

@@ -29,6 +29,7 @@ import numpy as np
 from ..collision import SRT, TRT
 from ..lattice import D3Q19, LatticeModel
 from .common import check_pdf_args, interior_slices, pull_slices
+from .contracts import allocation_free
 
 __all__ = ["d3q19_step", "build_pair_table"]
 
@@ -53,6 +54,12 @@ def _check_model(model: LatticeModel) -> None:
         raise ValueError(f"d3q19_step only supports D3Q19, got {model.name}")
 
 
+@allocation_free(
+    steady_state=False,
+    reason="d3q19 tier allocates interior-sized expression temporaries "
+    "(rho, u, eq parts) per step; only the vectorized tier owns "
+    "persistent scratch",
+)
 def d3q19_step(
     model: LatticeModel,
     src: np.ndarray,

@@ -21,12 +21,19 @@ from ..equilibrium import equilibrium, split_equilibrium
 from ..lattice import LatticeModel
 from ..macroscopic import density, velocity
 from .common import check_pdf_args, interior_slices, pull_slices
+from .contracts import allocation_free
 
 __all__ = ["generic_step"]
 
 Collision = Union[SRT, TRT]
 
 
+@allocation_free(
+    steady_state=False,
+    reason="generic tier materializes full-field temporaries (pulled "
+    "copy, feq, post) every step by design — it mirrors the paper's "
+    "slowest compiled tier",
+)
 def generic_step(
     model: LatticeModel,
     src: np.ndarray,

@@ -55,6 +55,12 @@ class _StatelessKernel:
         self.model = model
         self.collision = collision
         self._fn = fn
+        # Surface the step function's allocation contract (see
+        # lbm/kernels/contracts.py) on the adapter, so contract_of()
+        # works uniformly on stateless and stateful kernels.
+        contract = getattr(fn, "__allocation_free__", None)
+        if contract is not None:
+            self.__allocation_free__ = contract
 
     def __call__(self, src: np.ndarray, dst: np.ndarray) -> None:
         self._fn(self.model, src, dst, self.collision)

@@ -36,7 +36,8 @@ import numpy as np
 
 from ..collision import SRT, TRT
 from ..lattice import D3Q19, LatticeModel
-from .common import check_pdf_args, interior_slices, pull_slices
+from .common import check_pdf_args, interior_slices
+from .contracts import allocation_free
 from .d3q19 import build_pair_table, d3q19_step
 
 __all__ = [
@@ -116,6 +117,12 @@ def _collide_packed(
     return post
 
 
+@allocation_free(
+    steady_state=False,
+    reason="conditional strategy runs the allocating d3q19 dense step "
+    "and masks the write-back; cost and allocations scale with all "
+    "cells of the block by design",
+)
 class ConditionalSparseKernel:
     """Strategy 1: dense update, write-back only where the mask is fluid."""
 
@@ -161,6 +168,13 @@ def _interior_flat_indices(mask: np.ndarray, padded_shape) -> np.ndarray:
     return (ii + 1) * s0 + (jj + 1) * s1 + (kk + 1)
 
 
+@allocation_free(
+    steady_state=False,
+    reason="index-list strategy gathers fluid cells into fresh packed "
+    "arrays every step (fancy indexing cannot write into preallocated "
+    "storage without an extra copy pass)",
+    warmup=("_prepare",),
+)
 class IndexListSparseKernel:
     """Strategy 2: packed gather/collide/scatter over explicit fluid indices."""
 
@@ -209,6 +223,13 @@ def fluid_intervals(mask: np.ndarray) -> List[Tuple[int, int, int, int]]:
     return out
 
 
+@allocation_free(
+    steady_state=False,
+    reason="interval strategy gathers padded per-line runs into fresh "
+    "packed arrays every step; streaming access within runs is the "
+    "contract, not zero allocation",
+    warmup=("_prepare",),
+)
 class IntervalSparseKernel:
     """Strategy 3: per-line [first, last] runs, processed as padded slabs.
 

@@ -26,6 +26,7 @@ import numpy as np
 from ..collision import SRT, TRT
 from ..lattice import D3Q19, LatticeModel
 from .common import check_pdf_args, interior_slices, pull_slices
+from .contracts import allocation_free
 from .d3q19 import build_pair_table
 
 __all__ = ["VectorizedD3Q19Kernel"]
@@ -33,6 +34,7 @@ __all__ = ["VectorizedD3Q19Kernel"]
 Collision = Union[SRT, TRT]
 
 
+@allocation_free(steady_state=True, warmup=("_get_scratch",))
 class VectorizedD3Q19Kernel:
     """Stateful, allocation-free fused stream-collide kernel for D3Q19.
 
@@ -96,7 +98,10 @@ class VectorizedD3Q19Kernel:
         check_pdf_args(D3Q19, src, dst)
         shape = tuple(s - 2 for s in src.shape[1:])
         rho, inv_rho, ux, uy, uz, usq, t0, t1, t2, t3 = self._get_scratch(shape)
-        g = [src[(a,) + self._pull[a]] for a in range(19)]
+        # O(q) list of zero-copy *views* (no field-sized allocation);
+        # caching them is unsound because subregion sweeps pass fresh
+        # view objects whose ids can be reused after GC.
+        g = [src[(a,) + self._pull[a]] for a in range(19)]  # repro: noqa[KRN001]
 
         # --- by-direction moment accumulation, all in place ---------------
         np.add(g[0], g[1], out=rho)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from ..constants import D3Q19_BYTES_PER_CELL_WRITE_ALLOCATE
 

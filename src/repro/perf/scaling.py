@@ -32,8 +32,8 @@ from ..constants import D3Q19_SIZE, DOUBLE_BYTES
 from ..errors import ConfigurationError
 from ..geometry.coronary import CoronaryTree
 from .ecm import EcmModel
-from .machines import JUQUEEN, SUPERMUC, MachineSpec
-from .network import NetworkModel, network_for
+from .machines import JUQUEEN, MachineSpec
+from .network import network_for
 
 __all__ = [
     "NodeConfig",

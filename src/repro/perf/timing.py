@@ -46,7 +46,47 @@ __all__ = [
     "get_timing_tree",
     "clear_timing_registry",
     "best_of",
+    "KNOWN_COUNTERS",
+    "register_counter",
 ]
+
+#: The registered counter vocabulary: every counter name used with
+#: :meth:`TimingTree.add_counter` / :meth:`TimingTree.set_counter` must
+#: be declared here (or via :func:`register_counter`), so the reports,
+#: the network-model validation, and the static lint (rule ``HYG004``
+#: in :mod:`repro.analysis.hygiene_checks`) agree on one vocabulary —
+#: a typo in a counter name would otherwise silently split a metric in
+#: two.  Maps name -> one-line description.
+KNOWN_COUNTERS: Dict[str, str] = {
+    "cells_updated": "lattice cells updated (MLUPS numerator)",
+    "fluid_cell_updates": "fluid-only cell updates (MFLUPS numerator)",
+    "comm.local_bytes": "ghost bytes exchanged process-locally",
+    "comm.remote_bytes": "ghost bytes sent over the transport",
+    "comm.messages_coalesced": "bulk messages sent by the BufferSystem",
+    "comm.coalesced_bytes": "payload bytes in coalesced bulk messages",
+    "comm.overlap_efficiency": "hidden / total communication time (0..1)",
+    "comm.seq_messages": "sequence-numbered envelopes sent (ReliableComm)",
+    "comm.timeouts": "receive timeouts observed by ReliableComm",
+    "comm.retransmits": "messages recovered from the retransmission ledger",
+    "comm.duplicates_dropped": "stale duplicate deliveries discarded",
+    "faults.delayed": "messages delayed by the fault injector",
+    "faults.dropped": "messages dropped by the fault injector",
+    "faults.duplicated": "messages duplicated by the fault injector",
+    "faults.stalls": "rank stalls injected",
+    "faults.crashes": "rank crashes injected",
+}
+
+
+def register_counter(name: str, description: str = "") -> None:
+    """Add a counter name to the registered vocabulary.
+
+    Call this once, at import time, next to the subsystem that emits
+    the counter; the lint rule ``HYG004`` flags any literal counter
+    name that was never registered.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError("counter name must be a non-empty string")
+    KNOWN_COUNTERS.setdefault(name, description)
 
 
 @dataclass

@@ -1,0 +1,9 @@
+"""Seeded violation for HYG001: a bare except swallows SystemExit and
+KeyboardInterrupt.  Never executed — linted only."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # catches far too much
+        return None

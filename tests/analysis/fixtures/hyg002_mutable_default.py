@@ -1,0 +1,7 @@
+"""Seeded violation for HYG002: a mutable default argument is shared
+across every call of the function.  Never executed — linted only."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,8 @@
+"""Seeded violation for HYG003: the context manager returned by
+tree.scoped() is discarded instead of entered with ``with``, so the
+scope records nothing.  Never executed — linted only."""
+
+
+def time_kernel(tree, kernel, src, dst):
+    tree.scoped("kernel")  # never entered: enter/exit imbalance
+    kernel(src, dst)

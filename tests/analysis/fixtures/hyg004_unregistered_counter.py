@@ -1,0 +1,7 @@
+"""Seeded violation for HYG004: a typo'd counter name that is not in
+the registered vocabulary (repro.perf.timing.KNOWN_COUNTERS) — the
+metric would silently split in two.  Never executed — linted only."""
+
+
+def account_cells(tree, n):
+    tree.add_counter("cells_udpated", n)  # typo: never registered

@@ -1,0 +1,13 @@
+"""Seeded violation for KRN001: a function declared
+@allocation_free(steady_state=True) allocates a full-field temporary on
+every call.  Never executed — linted only."""
+
+import numpy as np
+
+from repro.lbm.kernels.contracts import allocation_free
+
+
+@allocation_free(steady_state=True)
+def leaky_step(src, dst):
+    tmp = np.zeros(src.shape)  # fresh field-sized allocation per step
+    np.add(src, tmp, out=dst)

@@ -1,0 +1,9 @@
+"""Seeded violation for KRN002: a strided (step-2) view passed as the
+out= target of a ufunc — silently de-vectorizes split-loop kernels.
+Never executed — linted only."""
+
+import numpy as np
+
+
+def write_strided(a, b):
+    np.add(a, 1.0, out=b[::2])  # non-contiguous out= target

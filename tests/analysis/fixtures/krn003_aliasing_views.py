@@ -1,0 +1,8 @@
+"""Seeded violation for KRN003: an in-place operation reads and writes
+overlapping shifted views of the same array — elements are read after
+they have already been overwritten.  Never executed — linted only."""
+
+
+def shift_accumulate(a):
+    a[1:] += a[:-1]  # overlapping views of the same base array
+    return a

@@ -1,0 +1,12 @@
+"""Seeded violation for MPI001: the send-side tag literal (7) and the
+receive-side tag literal (8) do not agree, so the receive blocks
+forever.  Never executed — linted only."""
+
+from repro.comm import VirtualMPI  # noqa: F401  (marks this as a comm module)
+
+
+def program(comm):
+    if comm.rank == 0:
+        comm.send("payload", 1, 7)
+        return None
+    return comm.recv(0, 8)

@@ -1,0 +1,12 @@
+"""Seeded violation for MPI002: one isend request is discarded outright
+and one irecv request is bound but never completed with wait()/test().
+Never executed — linted only."""
+
+from repro.comm import VirtualMPI  # noqa: F401  (marks this as a comm module)
+
+
+def exchange(comm, buf):
+    comm.isend(buf, 1, tag=3)  # request dropped on the floor
+    req = comm.irecv(1, tag=3)  # bound, but never waited or tested
+    del req
+    return None

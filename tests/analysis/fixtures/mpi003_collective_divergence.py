@@ -1,0 +1,11 @@
+"""Seeded violation for MPI003: a collective (allreduce) guarded by a
+rank-dependent conditional — ranks that skip the branch deadlock the
+ranks inside it.  Never executed — linted only."""
+
+from repro.comm import VirtualMPI  # noqa: F401  (marks this as a comm module)
+
+
+def reduce_on_root_only(comm, value):
+    if comm.rank == 0:
+        return comm.allreduce(value, op=lambda a, b: a + b)
+    return None

@@ -1,0 +1,11 @@
+"""Seeded violation for MPI004: the send buffer is mutated between
+isend() and the matching wait() — the transport may not have captured
+the payload yet (use-after-send).  Never executed — linted only."""
+
+from repro.comm import VirtualMPI  # noqa: F401  (marks this as a comm module)
+
+
+def bad_overlap(comm, buf):
+    req = comm.isend(buf, 1, 5)
+    buf[0] = 0.0  # mutation inside the open nonblocking window
+    req.wait()

@@ -1,0 +1,241 @@
+"""Rule <-> fixture coverage, suppressions, baseline, reporters, CLI.
+
+The seeded-violation corpus under ``fixtures/`` proves every static
+rule fires: each fixture file is named ``<rule>_<slug>.py`` and must
+produce findings of exactly that rule, and every static (non-TRC) rule
+of the catalog must have at least one fixture — one-to-one coverage,
+enforced by a parametrized test.  The shipped source tree itself must
+lint clean (the self-hosting property).
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import (
+    RULES,
+    Finding,
+    Suppressions,
+    lint_file,
+    lint_paths,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+SRC_REPRO = os.path.abspath(os.path.join(HERE, "..", "..", "src", "repro"))
+
+#: Static rules: everything in the catalog except the dynamic TRC ones.
+STATIC_RULES = sorted(r for r in RULES if not r.startswith("TRC"))
+
+
+def _fixture_files():
+    return sorted(
+        f for f in os.listdir(FIXTURES) if f.endswith(".py")
+    )
+
+
+def _expected_rule(filename: str) -> str:
+    return filename.split("_", 1)[0].upper()
+
+
+class TestRuleFixtureCoverage:
+    def test_every_static_rule_has_a_fixture(self):
+        covered = {_expected_rule(f) for f in _fixture_files()}
+        assert covered == set(STATIC_RULES)
+
+    @pytest.mark.parametrize("filename", _fixture_files())
+    def test_fixture_fires_exactly_its_rule(self, filename):
+        expected = _expected_rule(filename)
+        findings, error = lint_file(os.path.join(FIXTURES, filename))
+        assert error is None
+        assert findings, f"{filename} produced no findings"
+        assert {f.rule for f in findings} == {expected}
+
+    @pytest.mark.parametrize("filename", _fixture_files())
+    def test_cli_exits_nonzero_on_fixture(self, filename, capsys):
+        rc = main(["lint", os.path.join(FIXTURES, filename)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert _expected_rule(filename) in out
+
+    def test_findings_carry_location_severity_and_hint(self):
+        findings, _ = lint_file(
+            os.path.join(FIXTURES, "hyg001_bare_except.py")
+        )
+        (f,) = findings
+        assert f.line > 0 and f.path.endswith("hyg001_bare_except.py")
+        assert f.severity == "error"
+        assert f.hint
+        assert "HYG001" in f.render()
+
+
+class TestSelfHosting:
+    def test_shipped_tree_is_clean(self, capsys):
+        """The gate runs clean on src/repro — the acceptance criterion."""
+        rc = main(["lint", SRC_REPRO])
+        out = capsys.readouterr().out
+        assert rc == 0, f"self-hosting lint failed:\n{out}"
+        assert "gate: ok" in out
+
+    def test_every_rule_has_title_severity_hint(self):
+        for rule in RULES.values():
+            assert rule.title and rule.hint
+            assert rule.severity in ("error", "warning")
+
+    def test_ruff_companion_gate_if_available(self):
+        """The generic-hygiene half of the CI lint job.  ruff is not a
+        runtime dependency; skip locally when it is not installed."""
+        if shutil.which("ruff") is None:
+            pytest.skip("ruff not installed (CI installs it)")
+        root = os.path.abspath(os.path.join(HERE, "..", ".."))
+        proc = subprocess.run(
+            ["ruff", "check", "src", "tests", "benchmarks"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, f"ruff findings:\n{proc.stdout}"
+
+    def test_module_entrypoint_runs_lint(self):
+        """`python -m repro lint` (a fresh interpreter) on a clean file."""
+        root = os.path.abspath(os.path.join(HERE, "..", ".."))
+        env = dict(os.environ, PYTHONPATH=os.path.join(root, "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", SRC_REPRO],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "gate: ok" in proc.stdout
+
+
+class TestSuppressions:
+    def test_rule_scoped_noqa_silences_only_that_rule(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text(
+            "def f(x=[]):  # repro: noqa[HYG002]\n    return x\n"
+            "def g(y=[]):\n    return y\n"
+        )
+        findings, error = lint_file(str(path))
+        assert error is None
+        assert [f.line for f in findings] == [3]
+
+    def test_blanket_noqa_silences_everything_on_the_line(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("def f(x=[]):  # repro: noqa\n    return x\n")
+        findings, _ = lint_file(str(path))
+        assert findings == []
+
+    def test_scan_parses_rule_lists(self):
+        supp = Suppressions.scan("x = 1  # repro: noqa[KRN001, MPI002]\n")
+        assert supp.lines == {1: {"KRN001", "MPI002"}}
+        hit = Finding("KRN001", "f.py", 1, "m")
+        miss = Finding("HYG001", "f.py", 1, "m")
+        assert supp.suppresses(hit) and not supp.suppresses(miss)
+
+
+class TestBaselineWorkflow:
+    def test_write_then_lint_with_baseline_passes_gate(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        fixture = os.path.join(FIXTURES, "hyg002_mutable_default.py")
+        rc = main(["lint", fixture, "--write-baseline", str(baseline)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["lint", fixture, "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "suppressed by the baseline" in out
+
+    def test_baseline_survives_line_drift(self, tmp_path):
+        fixture = os.path.join(FIXTURES, "hyg002_mutable_default.py")
+        findings, _ = lint_file(fixture)
+        baseline = tmp_path / "b.json"
+        write_baseline(str(baseline), findings)
+        keys = load_baseline(str(baseline))
+        shifted = [
+            Finding(f.rule, f.path, f.line + 40, f.message) for f in findings
+        ]
+        result_keys = {(f.rule, f.path, f.message) for f in shifted}
+        assert result_keys <= keys
+
+    def test_new_findings_still_fail_with_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        old = os.path.join(FIXTURES, "hyg002_mutable_default.py")
+        new = os.path.join(FIXTURES, "hyg001_bare_except.py")
+        main(["lint", old, "--write-baseline", str(baseline)])
+        capsys.readouterr()
+        rc = main(["lint", old, new, "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "HYG001" in out
+
+    def test_bad_baseline_schema_is_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
+
+
+class TestReporters:
+    def _findings(self):
+        findings, _ = lint_file(
+            os.path.join(FIXTURES, "mpi003_collective_divergence.py")
+        )
+        return findings
+
+    def test_json_report_schema(self):
+        findings = self._findings()
+        payload = json.loads(render_json(findings, [], files_checked=1))
+        assert payload["schema"] == "repro.lint-report/1"
+        assert payload["ok"] is False
+        assert payload["counts"] == {"MPI003": 1}
+        (entry,) = payload["findings"]
+        assert entry["rule"] == "MPI003"
+        assert entry["severity"] == "error"
+        assert entry["hint"]
+        assert "MPI003" in payload["rules"]
+
+    def test_text_report_mentions_gate_and_hint(self):
+        findings = self._findings()
+        text = render_text(findings, [], files_checked=1)
+        assert "gate: FAIL" in text
+        assert "hint:" in text
+
+    def test_cli_json_format(self, capsys):
+        rc = main(
+            [
+                "lint",
+                os.path.join(FIXTURES, "krn002_strided_out.py"),
+                "--format=json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["counts"] == {"KRN002": 1}
+
+    def test_clean_file_passes(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text('"""Clean module."""\n\nX = 1\n')
+        rc = main(["lint", str(good)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gate: ok" in out
+
+    def test_syntax_error_fails_the_gate(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        rc = main(["lint", str(broken)])
+        capsys.readouterr()
+        assert rc == 1
+        result = lint_paths([str(broken)])
+        assert not result.ok and result.errors

@@ -345,12 +345,12 @@ class TestDistributedSimulation:
 # and fault-schedule invariance (see docs/resilience.md).
 # ---------------------------------------------------------------------------
 
-import threading
-import time
+import threading  # noqa: E402
+import time  # noqa: E402
 
-from repro.comm import FaultInjector, FaultSpec, ReliableComm, run_spmd_simulation
-from repro.comm.vmpi import _Mailbox
-from repro.errors import (
+from repro.comm import FaultInjector, FaultSpec, ReliableComm, run_spmd_simulation  # noqa: E402
+from repro.comm.vmpi import _Mailbox  # noqa: E402
+from repro.errors import (  # noqa: E402
     RecvTimeoutError,
     RetryExhaustedError,
 )

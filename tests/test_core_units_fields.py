@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro import flagdefs as fl
-from repro.core import PdfField, Sweep, TimeLoop, UnitScales, blood_flow_scales
+from repro.core import PdfField, TimeLoop, UnitScales, blood_flow_scales
 from repro.core.flags import FlagField
 from repro.errors import ConfigurationError
 from repro.lbm import D2Q9, D3Q19

@@ -13,7 +13,6 @@ from repro.geometry import (
     CoronaryTree,
     MeshGeometry,
     MeshOctree,
-    box_mesh,
     capped_tube,
     cell_centers,
     classify_block,

@@ -8,7 +8,6 @@ pipeline, exactly as §2 of the paper describes the workflow.
 """
 
 import io
-import os
 
 import numpy as np
 import pytest

@@ -3,7 +3,6 @@ produces the expected series, and prints paper-vs-ours comparisons."""
 
 import pytest
 
-from repro.geometry import CoronaryTree
 from repro.harness import (
     fig1_partitioning,
     fig3_kernel_tiers,

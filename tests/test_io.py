@@ -189,17 +189,17 @@ class TestCheckpoint:
 # detection, atomicity, and RNG-state persistence (docs/resilience.md).
 # ---------------------------------------------------------------------------
 
-import os
-import zipfile
+import os  # noqa: E402
+import zipfile  # noqa: E402
 
-from repro.errors import CheckpointError
-from repro.io import (
+from repro.errors import CheckpointError  # noqa: E402
+from repro.io import (  # noqa: E402
     load_solver_checkpoint,
     read_state,
     save_solver_checkpoint,
     write_state,
 )
-from repro.lbm.cellstructured import CellStructuredSolver
+from repro.lbm.cellstructured import CellStructuredSolver  # noqa: E402
 
 
 def _single_block(steps=0):

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 from repro.lbm.collision import SRT, TRT
 from repro.lbm.kernels import (
     alloc_pdf_field,
-    interior_slices,
     make_kernel,
     pull_slices,
 )

@@ -9,8 +9,7 @@ from repro.balance import balance_forest
 from repro.blocks import SetupBlockForest
 from repro.comm import DistributedSimulation
 from repro.comm.ghostlayer import needed_directions
-from repro.geometry import AABB
-from repro.lbm import D3Q19, D3Q27, NoSlip, SRT, TRT, UBB
+from repro.lbm import D3Q19, D3Q27, NoSlip, SRT, TRT
 from repro.lbm.kernels import make_kernel
 from repro.lbm.kernels.aos import aos_step, aos_to_soa, soa_to_aos
 
