@@ -306,7 +306,10 @@ def _cmd_cavity(args) -> int:
     from .lbm import NoSlip, TRT, UBB
 
     n = args.size
-    sim = Simulation(cells=(n, n, n), collision=TRT.from_tau(0.65))
+    workers = getattr(args, "workers", 1)
+    sim = Simulation(
+        cells=(n, n, n), collision=TRT.from_tau(0.65), workers=workers
+    )
     sim.flags.fill(fl.FLUID)
     d = sim.flags.data
     d[0], d[-1] = fl.NO_SLIP, fl.NO_SLIP
@@ -323,10 +326,12 @@ def _cmd_cavity(args) -> int:
     if args.checkpoint_every:
         sim.enable_checkpointing(args.checkpoint, args.checkpoint_every)
     sim.run(max(0, args.steps - done))
+    extra = f", {workers} workers" if workers > 1 else ""
     print(
-        f"cavity {n}^3, {args.steps} steps: {sim.mlups():.2f} MLUPS, "
+        f"cavity {n}^3, {args.steps} steps{extra}: {sim.mlups():.2f} MLUPS, "
         f"max |u| = {np.nanmax(np.abs(sim.velocity())):.4f}"
     )
+    sim.close()
     if args.profile:
         _emit_profile(
             sim.timeloop, args, f"cavity {n}^3",
@@ -365,6 +370,7 @@ def _cmd_coronary(args) -> int:
             PressureABB(rho_w=1.0),
         ],
         comm_mode=getattr(args, "comm_mode", "per-face"),
+        workers=getattr(args, "workers", 1),
     )
     done = 0
     if args.restart:
@@ -378,6 +384,7 @@ def _cmd_coronary(args) -> int:
         f"on {args.ranks} ranks, {args.steps} steps: "
         f"{sim.mflups():.2f} MFLUPS, comm {100 * sim.comm_fraction():.1f}%"
     )
+    sim.close()
     if args.profile:
         _emit_profile(
             sim.timeloop, args, "coronary pipeline",
@@ -470,10 +477,20 @@ def main(argv=None) -> int:
             help="resume from --checkpoint before stepping",
         )
 
+    def _add_workers_flag(p) -> None:
+        p.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="intra-rank worker threads for the kernel/boundary sweeps "
+            "(the paper's OpenMP/SMT axis; N > 1 enables the threaded "
+            "sweep engine — bit-identical to serial, see "
+            "docs/hybrid-parallelism.md)",
+        )
+
     p_cav = sub.add_parser("cavity", help="run a lid-driven cavity")
     p_cav.add_argument("--size", type=int, default=32)
     p_cav.add_argument("--steps", type=int, default=300)
     p_cav.add_argument("--vtk", type=str, default=None)
+    _add_workers_flag(p_cav)
     _add_checkpoint_flags(p_cav)
 
     p_lint = sub.add_parser(
@@ -512,6 +529,7 @@ def main(argv=None) -> int:
         "per-rank-pair buffers, or coalesced with communication/"
         "computation overlap (all bit-identical)",
     )
+    _add_workers_flag(p_cor)
     _add_checkpoint_flags(p_cor)
 
     args = parser.parse_args(argv)

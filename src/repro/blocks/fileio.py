@@ -112,6 +112,11 @@ def load_forest(source: Union[str, bytes, BinaryIO]) -> SetupBlockForest:
         raise FileFormatError(f"corrupt domain box: {exc}") from exc
     root_grid = struct.unpack("<3I", _read_exact(buf, 12))
     cells_per_block = struct.unpack("<3I", _read_exact(buf, 12))
+    if any(g < 1 for g in root_grid) or any(c < 1 for c in cells_per_block):
+        raise FileFormatError(
+            f"corrupt grid: root_grid={root_grid}, "
+            f"cells_per_block={cells_per_block} (all extents must be >= 1)"
+        )
     n_processes, n_blocks = struct.unpack("<IQ", _read_exact(buf, 12))
     root_bits, id_bytes, rank_bytes, fluid_bytes = struct.unpack(
         "<4B", _read_exact(buf, 4)

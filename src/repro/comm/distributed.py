@@ -14,7 +14,6 @@ remote copies so the performance models can attribute MPI cost.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -26,11 +25,19 @@ from ..core.field import PdfField
 from ..core.flags import FlagField
 from ..core.timeloop import TimeLoop
 from ..errors import ConfigurationError, NumericalError
+from ..exec import (
+    EXEC_MODES,
+    RoundHandle,
+    SweepTask,
+    make_engine,
+    slab_boxes,
+    slabs_per_block,
+)
 from ..geometry.implicit import ImplicitGeometry
 from ..geometry.voxelize import ColorMap, voxelize_block
 from ..lbm.boundary import BoundaryHandling, Condition, NoSlip
 from ..lbm.collision import SRT, TRT
-from ..lbm.kernels.common import interior_partition
+from ..lbm.kernels.common import box_cells, interior_partition
 from ..lbm.kernels.registry import (
     KERNEL_TIERS,
     instrument_kernel,
@@ -197,12 +204,24 @@ class DistributedSimulation:
             (independent of ghost layers, runs between pack and
             unpack) and a one-cell frontier shell (runs after).
             Bit-identical to the other modes.
+    exec_mode:
+        Intra-rank sweep execution strategy (see :mod:`repro.exec`):
+        ``"serial"`` runs every sweep inline; ``"threads"`` gives the
+        kernel and boundary sweeps a persistent work-stealing pool of
+        ``workers`` threads — the OpenMP axis of the paper's hybrid
+        aPbT configurations.  Work items are whole blocks when there
+        are at least as many blocks as workers, and interior *slabs* of
+        dense blocks otherwise (the single-large-block regime).  NumPy
+        releases the GIL inside the kernels, so work items genuinely
+        execute concurrently, and results are bit-identical to serial
+        runs for every worker count.  ``None`` (default) selects
+        ``"threads"`` when ``workers > 1``.
+    workers:
+        Worker threads for ``exec_mode="threads"``.
     threads:
-        Worker threads for the kernel and boundary sweeps across blocks —
-        the OpenMP axis of the paper's hybrid aPbT configurations.  NumPy
-        releases the GIL inside the kernels, so blocks genuinely execute
-        concurrently.  Results are bit-identical to single-threaded runs
-        (blocks are independent within a sweep).
+        Deprecated alias for ``workers`` (kept for callers of the
+        earlier thread-pool implementation); ignored when ``workers``
+        is given.
     """
 
     def __init__(
@@ -220,11 +239,21 @@ class DistributedSimulation:
         filtered_communication: bool = False,
         comm_mode: str = "per-face",
         threads: int = 1,
+        exec_mode: Optional[str] = None,
+        workers: Optional[int] = None,
     ):
         if forest.n_processes == 0:
             raise ConfigurationError("forest must be balanced first")
-        if threads < 1:
-            raise ConfigurationError("threads must be >= 1")
+        if workers is None:
+            workers = int(threads)
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if exec_mode is None:
+            exec_mode = "threads" if workers > 1 else "serial"
+        if exec_mode not in EXEC_MODES:
+            raise ConfigurationError(
+                f"exec_mode must be one of {EXEC_MODES}, got {exec_mode!r}"
+            )
         if comm_mode not in COMM_MODES:
             raise ConfigurationError(
                 f"comm_mode must be one of {COMM_MODES}, got {comm_mode!r}"
@@ -234,12 +263,10 @@ class DistributedSimulation:
                 "filtered_communication requires comm_mode='per-face'"
             )
         self.comm_mode = comm_mode
-        self.threads = int(threads)
-        self._pool = (
-            ThreadPoolExecutor(max_workers=self.threads)
-            if self.threads > 1
-            else None
-        )
+        self.exec_mode = exec_mode
+        self.workers = int(workers)
+        #: Back-compat view of the worker count (pre-engine API).
+        self.threads = self.workers
         self.forest = forest
         self.model = model
         self.collision = collision
@@ -280,6 +307,8 @@ class DistributedSimulation:
                 self._handlers[key] = rt.handler
 
         self.timeloop = TimeLoop()
+        self.engine = make_engine(self.exec_mode, self.workers, self.timeloop.tree)
+        self.timeloop.engine = self.engine
         specs = self._build_specs()
         if comm_mode == "per-face":
             self.exchange = GhostExchange(
@@ -324,6 +353,9 @@ class DistributedSimulation:
         # Cumulative accumulators for the overlap-efficiency gauge.
         self._inner_seconds = 0.0
         self._exposed_seconds = 0.0
+        # In-flight inner-sweep round (threaded overlap composition).
+        self._inner_handle: Optional[RoundHandle] = None
+        self._build_task_lists()
 
     # -- construction helpers ---------------------------------------------
     def _build_specs(self) -> List[CopySpec]:
@@ -395,31 +427,142 @@ class DistributedSimulation:
             if key in remote_dst and _handler_writes_ghosts(self._handlers[key]):
                 self._reapply_keys.append(key)
 
-    # -- per-step sweeps --------------------------------------------------
-    def _inner_one(self, key) -> None:
-        field = self.fields[key]
-        run_kernel_on_region(
-            self._kernels[key], field.src, field.dst, self._inner_boxes[key]
-        )
+    def _build_task_lists(self) -> None:
+        """Precompute the engine work items for every parallel sweep.
 
+        Decomposition is hybrid: with at least as many blocks as
+        workers each block is one work item (block-level scheduling);
+        with fewer blocks, each *dense* block's interior is cut into
+        :func:`~repro.exec.slabs_per_block` slabs along the slowest
+        axis (sparse blocks always stay whole — their index lists are
+        built for the full padded shape).  Closures re-read
+        ``field.src`` / ``field.dst`` at call time so the two-grid swap
+        stays transparent; all tasks of one round write disjoint
+        regions, so any worker count is bit-identical to serial.
+        """
+        dense = {k for k in self._kernels if self.kernel_names[k] in KERNEL_TIERS}
+        n_blocks = len(self._kernels)
+        slabs = 1
+        if self.exec_mode == "threads":
+            slabs = slabs_per_block(n_blocks, len(dense), self.workers)
+        self._kernel_tasks: List[SweepTask] = []
+        for key, kern in self._kernels.items():
+            field = self.fields[key]
+            cells = self.blocks[key].cells
+            if key in dense and slabs > 1:
+                full = ((0,) * self.model.dim, cells)
+                for i, box in enumerate(slab_boxes(full, slabs)):
+                    self._kernel_tasks.append(
+                        SweepTask(
+                            (lambda kern=kern, field=field, box=box:
+                             run_kernel_on_region(
+                                 kern, field.src, field.dst, box
+                             )),
+                            cost=box_cells(box),
+                            name=f"{key}:slab{i}",
+                        )
+                    )
+            else:
+                cost = float(
+                    getattr(kern, "processed_cells", int(np.prod(cells)))
+                )
+                self._kernel_tasks.append(
+                    SweepTask(
+                        (lambda kern=kern, field=field:
+                         kern(field.src, field.dst)),
+                        cost=cost,
+                        name=f"{key}:block",
+                    )
+                )
+        # Boundary handling: blocks are independent (each handler writes
+        # only its own block's field), one work item per block.
+        self._boundary_tasks = [
+            SweepTask(
+                (lambda h=handler, field=self.fields[key]: h.apply(field.src)),
+                cost=float(np.prod(self.blocks[key].cells)),
+                name=f"{key}:boundary",
+            )
+            for key, handler in self._handlers.items()
+        ]
+        if self.comm_mode != "overlap":
+            self._inner_tasks: List[SweepTask] = []
+            self._frontier_tasks: List[SweepTask] = []
+            return
+        # Overlap schedule: inner boxes slab-split like full interiors
+        # (they are the bulk of the work and must fill the pool while
+        # the exchange is in flight); frontier shells stay one item per
+        # block — thin onions whose boxes must run back-to-back.
+        inner_slabs = 1
+        if self.exec_mode == "threads" and self._inner_boxes:
+            inner_slabs = slabs_per_block(
+                len(self._inner_boxes), len(self._inner_boxes), self.workers
+            )
+        self._inner_tasks = []
+        for key, box in self._inner_boxes.items():
+            field = self.fields[key]
+            kern = self._kernels[key]
+            for i, sb in enumerate(slab_boxes(box, inner_slabs)):
+                self._inner_tasks.append(
+                    SweepTask(
+                        (lambda kern=kern, field=field, box=sb:
+                         run_kernel_on_region(kern, field.src, field.dst, box)),
+                        cost=box_cells(sb),
+                        name=f"{key}:inner{i}",
+                    )
+                )
+        self._frontier_tasks = []
+        for key, kern in self._kernels.items():
+            cells = int(np.prod(self.blocks[key].cells))
+            inner = self._inner_boxes.get(key)
+            cost = float(cells - (box_cells(inner) if inner is not None else 0))
+            self._frontier_tasks.append(
+                SweepTask(
+                    (lambda key=key: self._frontier_one(key)),
+                    cost=max(cost, 1.0),
+                    name=f"{key}:frontier",
+                )
+            )
+
+    # -- per-step sweeps --------------------------------------------------
     def _run_inner_kernels(self) -> None:
+        """Dispatch the inner-slab round.
+
+        Under ``exec_mode="threads"`` the round is *asynchronous*: the
+        sweep returns as soon as the tasks are on the worker deques, so
+        the next sweep (``communication finish``) drains the exchange
+        concurrently with the inner compute — the unpack writes ghost
+        layers of ``src`` while the inner slabs write interior regions
+        of ``dst``, which are disjoint.  The serial engine executes
+        inline, reproducing the synchronous schedule exactly.
+        """
         t0 = time.perf_counter()
-        if self._pool is not None:
-            list(self._pool.map(self._inner_one, self._inner_boxes))
-        else:
-            for key in self._inner_boxes:
-                self._inner_one(key)
-        self._inner_seconds += time.perf_counter() - t0
+        self._inner_handle = self.engine.run_async(self._inner_tasks)
+        if self._inner_handle.done:  # serial engine ran inline
+            self._inner_seconds += time.perf_counter() - t0
 
     def _finish_comm(self) -> None:
-        """Complete the exchange, restore boundary writes, update the
+        """Complete the exchange, restore boundary writes, join the
+        in-flight inner round, and update the
         ``comm.overlap_efficiency`` gauge (compute hidden behind the
         exchange as a fraction of compute + exposed comm)."""
         t0 = time.perf_counter()
         self.exchange.finish()
         for key in self._reapply_keys:
             self._handlers[key].apply(self.fields[key].src)
-        self._exposed_seconds += time.perf_counter() - t0
+        comm_wall = time.perf_counter() - t0
+        handle = self._inner_handle
+        self._inner_handle = None
+        if handle is not None and not handle.done:
+            cp0 = self.engine.critical_path_seconds
+            handle.wait()
+            # The inner round's critical-path CPU time is the compute
+            # available to hide communication behind; comm beyond it is
+            # exposed.
+            inner_cp = self.engine.critical_path_seconds - cp0
+            self._inner_seconds += inner_cp
+            self._exposed_seconds += max(0.0, comm_wall - inner_cp)
+        else:
+            self._exposed_seconds += comm_wall
         denom = self._inner_seconds + self._exposed_seconds
         if denom > 0.0:
             self.timeloop.tree.set_counter(
@@ -437,37 +580,16 @@ class DistributedSimulation:
             run_kernel_on_region(kernel, field.src, field.dst, box)
 
     def _run_frontier_kernels(self) -> None:
-        if self._pool is not None:
-            list(self._pool.map(self._frontier_one, self._kernels))
-        else:
-            for key in self._kernels:
-                self._frontier_one(key)
+        self.engine.run(self._frontier_tasks)
         tree = self.timeloop.tree
         tree.add_counter("cells_updated", self._cells_per_step)
         tree.add_counter("fluid_cell_updates", self._fluid_per_step)
 
     def _apply_boundaries(self) -> None:
-        if self._pool is not None:
-            list(
-                self._pool.map(
-                    lambda key: self._handlers[key].apply(self.fields[key].src),
-                    self._handlers,
-                )
-            )
-            return
-        for key, handler in self._handlers.items():
-            handler.apply(self.fields[key].src)
-
-    def _kernel_one(self, key) -> None:
-        field = self.fields[key]
-        self._kernels[key](field.src, field.dst)
+        self.engine.run(self._boundary_tasks)
 
     def _run_kernels(self) -> None:
-        if self._pool is not None:
-            list(self._pool.map(self._kernel_one, self._kernels))
-        else:
-            for key in self._kernels:
-                self._kernel_one(key)
+        self.engine.run(self._kernel_tasks)
         tree = self.timeloop.tree
         tree.add_counter("cells_updated", self._cells_per_step)
         tree.add_counter("fluid_cell_updates", self._fluid_per_step)
@@ -475,6 +597,10 @@ class DistributedSimulation:
     def _swap_all(self) -> None:
         for field in self.fields.values():
             field.swap()
+
+    def close(self) -> None:
+        """Shut down the sweep engine's worker pool (idempotent)."""
+        self.timeloop.close()
 
     def update_boundary(self, old: Condition, new: Condition) -> "DistributedSimulation":
         """Replace a boundary condition on every block (e.g. a pulsatile

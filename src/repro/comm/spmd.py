@@ -37,13 +37,14 @@ from ..blocks.forest import LocalBlock, view_for_rank
 from ..blocks.setup import SetupBlockForest
 from ..core.flags import FlagField
 from ..errors import CommunicationError, ConfigurationError
+from ..exec import SweepTask, make_engine, slab_boxes, slabs_per_block
 from ..geometry.implicit import ImplicitGeometry
 from ..geometry.voxelize import ColorMap
 from ..lbm.boundary import Condition
 from ..lbm.collision import SRT, TRT
 from ..lbm.lattice import D3Q19, LatticeModel
 from ..perf.timing import TimingTree
-from ..lbm.kernels.common import interior_partition
+from ..lbm.kernels.common import box_cells, interior_partition
 from ..lbm.kernels.registry import KERNEL_TIERS, run_kernel_on_region
 from .buffersystem import COMM_MODES, BufferSystem
 from .distributed import BlockRuntime, _handler_writes_ghosts, build_block_runtime
@@ -123,10 +124,23 @@ def spmd_rank_program(
     checkpoint_path: Optional[str] = None,
     restore_from: Optional[str] = None,
     comm_mode: str = "per-face",
+    exec_mode: Optional[str] = None,
+    workers: int = 1,
 ) -> Dict[object, np.ndarray]:
     """One rank's complete simulation: build local blocks, exchange
     ghosts by message passing, step, and return the final interior PDFs
     of the local blocks (keyed by block id).
+
+    ``exec_mode`` / ``workers`` give the rank an intra-rank sweep
+    engine (see :mod:`repro.exec`) — the paper's hybrid aPbT
+    configurations: ``a`` virtual MPI ranks each driving ``b`` worker
+    threads.  Work items are whole blocks, or interior slabs of dense
+    blocks when the rank owns fewer blocks than workers; under
+    ``comm_mode="overlap"`` the inner-slab round runs *asynchronously*
+    while this rank's thread drains the exchange, composing message
+    hiding with thread parallelism.  Results are bit-identical for
+    every (exec_mode, workers) choice.  ``None`` selects ``"threads"``
+    when ``workers > 1``.
 
     ``comm_mode`` selects the exchange strategy (all bit-identical):
     ``"per-face"`` sends one message per (block, face);
@@ -211,6 +225,109 @@ def spmd_rank_program(
     def scope(name: str):
         return tree.scoped(name) if tree is not None else nullcontext()
 
+    # Intra-rank sweep engine and its precomputed work items (the aPbT
+    # thread axis).  Closures re-read ``rt.field.src/dst`` at call time
+    # so the two-grid swap stays transparent; every round's tasks write
+    # disjoint regions, so results are bit-identical for any worker
+    # count.
+    if exec_mode is None:
+        exec_mode = "threads" if workers > 1 else "serial"
+    engine = make_engine(exec_mode, workers, tree)
+    dense_ids = {
+        bid for bid, rt in runtimes.items() if rt.kernel_name in KERNEL_TIERS
+    }
+    slabs = 1
+    if engine.mode == "threads":
+        slabs = slabs_per_block(len(runtimes), len(dense_ids), engine.workers)
+
+    def _timed_whole(rt):
+        def fn():
+            t0 = time.perf_counter()
+            rt.kernel(rt.field.src, rt.field.dst)
+            if tree is not None:
+                tree.record(f"tier:{rt.kernel_name}", time.perf_counter() - t0)
+        return fn
+
+    def _timed_region(rt, box):
+        def fn():
+            t0 = time.perf_counter()
+            run_kernel_on_region(rt.kernel, rt.field.src, rt.field.dst, box)
+            if tree is not None:
+                tree.record(f"tier:{rt.kernel_name}", time.perf_counter() - t0)
+        return fn
+
+    kernel_tasks: List[SweepTask] = []
+    for bid, rt in runtimes.items():
+        cells = local[bid].cells
+        if bid in dense_ids and slabs > 1:
+            full = ((0,) * model.dim, cells)
+            kernel_tasks.extend(
+                SweepTask(
+                    _timed_region(rt, box),
+                    cost=box_cells(box),
+                    name=f"{bid}:slab{i}",
+                )
+                for i, box in enumerate(slab_boxes(full, slabs))
+            )
+        else:
+            cost = float(
+                getattr(rt.kernel, "processed_cells", int(np.prod(cells)))
+            )
+            kernel_tasks.append(
+                SweepTask(_timed_whole(rt), cost=cost, name=f"{bid}:block")
+            )
+    boundary_tasks = [
+        SweepTask(
+            (lambda rt=rt: rt.handler.apply(rt.field.src)),
+            cost=float(np.prod(local[bid].cells)),
+            name=f"{bid}:boundary",
+        )
+        for bid, rt in runtimes.items()
+    ]
+    inner_tasks: List[SweepTask] = []
+    frontier_tasks: List[SweepTask] = []
+    if comm_mode == "overlap":
+        inner_slabs = 1
+        if engine.mode == "threads" and inner_boxes:
+            inner_slabs = slabs_per_block(
+                len(inner_boxes), len(inner_boxes), engine.workers
+            )
+        for bid, box in inner_boxes.items():
+            rt = runtimes[bid]
+            inner_tasks.extend(
+                SweepTask(
+                    (lambda rt=rt, sb=sb: run_kernel_on_region(
+                        rt.kernel, rt.field.src, rt.field.dst, sb
+                    )),
+                    cost=box_cells(sb),
+                    name=f"{bid}:inner{i}",
+                )
+                for i, sb in enumerate(slab_boxes(box, inner_slabs))
+            )
+
+        def _frontier_fn(bid, rt):
+            def fn():
+                boxes = frontier_boxes.get(bid)
+                if boxes is None:  # sparse: whole-block sweep
+                    rt.kernel(rt.field.src, rt.field.dst)
+                    return
+                for box in boxes:
+                    run_kernel_on_region(
+                        rt.kernel, rt.field.src, rt.field.dst, box
+                    )
+            return fn
+
+        for bid, rt in runtimes.items():
+            cells = int(np.prod(local[bid].cells))
+            inner = inner_boxes.get(bid)
+            cost = float(cells - (box_cells(inner) if inner is not None else 0))
+            frontier_tasks.append(
+                SweepTask(
+                    _frontier_fn(bid, rt), cost=max(cost, 1.0),
+                    name=f"{bid}:frontier",
+                )
+            )
+
     cells_per_step = sum(
         getattr(
             rt.kernel, "processed_cells", int(np.prod(local[bid].cells))
@@ -223,92 +340,84 @@ def spmd_rank_program(
     if restore_from is not None:
         start_step = _restore_from_checkpoint(comm, runtimes, restore_from)
 
-    for step in range(start_step, int(steps)):
-        # Fault-schedule boundary: scheduled stalls/crashes fire here.
-        if resilient:
-            channel.begin_step(step)
-        else:
-            comm.fault_tick(step)
-        if comm_mode == "overlap":
-            # 1a. pack + post isends + local copies, then start computing.
-            with scope("communication"):
-                sent_bytes = exchange.start()
-                exchange.local()
-            with scope("boundary"):
-                for rt in runtimes.values():
-                    rt.handler.apply(rt.field.src)
-            # 2. inner-region sweeps hide the in-flight messages.
-            t0 = time.perf_counter()
-            with scope("inner kernel"):
-                for bid, box in inner_boxes.items():
-                    rt = runtimes[bid]
-                    run_kernel_on_region(
-                        rt.kernel, rt.field.src, rt.field.dst, box
-                    )
-            inner_seconds += time.perf_counter() - t0
-            # 1b. drain + unpack; restore any boundary ghost writes.
-            with scope("communication finish"):
-                exchange.finish()
-                for bid in reapply:
-                    runtimes[bid].handler.apply(runtimes[bid].field.src)
-            wait_seconds += exchange.last_wait_seconds
-            # 3. frontier sweeps now that ghost layers are fresh.
-            with scope("frontier kernel"):
-                for bid, rt in runtimes.items():
-                    boxes = frontier_boxes.get(bid)
-                    if boxes is None:  # sparse: whole-block sweep
-                        rt.kernel(rt.field.src, rt.field.dst)
-                        continue
-                    for box in boxes:
-                        run_kernel_on_region(
-                            rt.kernel, rt.field.src, rt.field.dst, box
-                        )
-            with scope("swap"):
-                for rt in runtimes.values():
-                    rt.field.swap()
-            if tree is not None:
-                tree.add_counter("cells_updated", cells_per_step)
-                tree.add_counter("fluid_cell_updates", fluid_per_step)
-                tree.add_counter("comm.remote_bytes", sent_bytes)
-                denom = inner_seconds + wait_seconds
-                if denom > 0.0:
-                    tree.set_counter(
-                        "comm.overlap_efficiency", inner_seconds / denom
-                    )
-        else:
-            # 1. communication: fire all sends, then drain the recvs.
-            with scope("communication"):
-                sent_bytes = exchange.exchange()
-            # 2./3./4. boundary handling, kernel, swap — per local block.
-            if tree is None:
-                for rt in runtimes.values():
-                    rt.step_local()
+    try:
+        for step in range(start_step, int(steps)):
+            # Fault-schedule boundary: scheduled stalls/crashes fire here.
+            if resilient:
+                channel.begin_step(step)
             else:
+                comm.fault_tick(step)
+            if comm_mode == "overlap":
+                # 1a. pack + post isends + local copies, start computing.
+                with scope("communication"):
+                    sent_bytes = exchange.start()
+                    exchange.local()
                 with scope("boundary"):
-                    for rt in runtimes.values():
-                        rt.handler.apply(rt.field.src)
-                with scope("kernel"):
-                    for rt in runtimes.values():
-                        t0 = time.perf_counter()
-                        rt.kernel(rt.field.src, rt.field.dst)
-                        tree.record(
-                            f"tier:{rt.kernel_name}", time.perf_counter() - t0
-                        )
+                    engine.run(boundary_tasks)
+                # 2. inner-region sweeps hide the in-flight messages.
+                # With a threaded engine the round is dispatched
+                # asynchronously: the workers sweep inner slabs (writing
+                # dst interiors) while this rank's thread drains the
+                # exchange (writing src ghost layers) — disjoint memory,
+                # so the composition stays bit-identical.
+                t0 = time.perf_counter()
+                with scope("inner kernel"):
+                    inner_handle = engine.run_async(inner_tasks)
+                if inner_handle.done:  # serial engine ran inline
+                    inner_seconds += time.perf_counter() - t0
+                # 1b. drain + unpack; restore boundary ghost writes;
+                # join the inner round.
+                with scope("communication finish"):
+                    exchange.finish()
+                    for bid in reapply:
+                        runtimes[bid].handler.apply(runtimes[bid].field.src)
+                    if not inner_handle.done:
+                        cp0 = engine.critical_path_seconds
+                        inner_handle.wait()
+                        inner_seconds += engine.critical_path_seconds - cp0
+                wait_seconds += exchange.last_wait_seconds
+                # 3. frontier sweeps now that ghost layers are fresh.
+                with scope("frontier kernel"):
+                    engine.run(frontier_tasks)
                 with scope("swap"):
                     for rt in runtimes.values():
                         rt.field.swap()
-                tree.add_counter("cells_updated", cells_per_step)
-                tree.add_counter("fluid_cell_updates", fluid_per_step)
-                tree.add_counter("comm.remote_bytes", sent_bytes)
-        # Periodic checkpoint: collective gather + atomic rank-0 write.
-        if checkpoint_every > 0 and (step + 1) % checkpoint_every == 0:
-            with scope("checkpoint"):
-                _write_rank0_checkpoint(
-                    comm, runtimes, checkpoint_path, step + 1
-                )
-        # Keep ranks in lockstep (mirrors waLBerla's per-step sync).
-        with scope("sync"):
-            comm.barrier()
+                if tree is not None:
+                    tree.add_counter("cells_updated", cells_per_step)
+                    tree.add_counter("fluid_cell_updates", fluid_per_step)
+                    tree.add_counter("comm.remote_bytes", sent_bytes)
+                    denom = inner_seconds + wait_seconds
+                    if denom > 0.0:
+                        tree.set_counter(
+                            "comm.overlap_efficiency", inner_seconds / denom
+                        )
+            else:
+                # 1. communication: fire all sends, then drain the recvs.
+                with scope("communication"):
+                    sent_bytes = exchange.exchange()
+                # 2./3./4. boundary handling, kernel, swap.
+                with scope("boundary"):
+                    engine.run(boundary_tasks)
+                with scope("kernel"):
+                    engine.run(kernel_tasks)
+                with scope("swap"):
+                    for rt in runtimes.values():
+                        rt.field.swap()
+                if tree is not None:
+                    tree.add_counter("cells_updated", cells_per_step)
+                    tree.add_counter("fluid_cell_updates", fluid_per_step)
+                    tree.add_counter("comm.remote_bytes", sent_bytes)
+            # Periodic checkpoint: collective gather + atomic rank-0 write.
+            if checkpoint_every > 0 and (step + 1) % checkpoint_every == 0:
+                with scope("checkpoint"):
+                    _write_rank0_checkpoint(
+                        comm, runtimes, checkpoint_path, step + 1
+                    )
+            # Keep ranks in lockstep (mirrors waLBerla's per-step sync).
+            with scope("sync"):
+                comm.barrier()
+    finally:
+        engine.shutdown()
 
     return {
         block_id: rt.field.interior_view.copy()
@@ -334,8 +443,14 @@ def run_spmd_simulation(
     checkpoint_path: Optional[str] = None,
     restore_from: Optional[str] = None,
     comm_mode: str = "per-face",
+    exec_mode: Optional[str] = None,
+    workers: int = 1,
 ) -> Dict[object, np.ndarray]:
     """Run the SPMD program on every virtual rank and merge the results.
+
+    ``exec_mode`` / ``workers`` are forwarded to every rank's
+    :func:`spmd_rank_program` — ``world.size`` ranks x ``workers``
+    threads is the paper's hybrid aPbT execution.
 
     ``world.size`` must equal the forest's process count.  Returns the
     final interior PDFs of every block, keyed by block id.
@@ -377,6 +492,8 @@ def run_spmd_simulation(
             checkpoint_path=checkpoint_path,
             restore_from=restore_from,
             comm_mode=comm_mode,
+            exec_mode=exec_mode,
+            workers=workers,
         )
 
     per_rank = world.run(program)

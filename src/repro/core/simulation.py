@@ -13,10 +13,17 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from ..errors import ConfigurationError, NumericalError
+from ..exec import EXEC_MODES, SweepTask, make_engine, slab_boxes
 from ..lbm.boundary import BoundaryHandling, Condition
 from ..lbm.forcing import ConstantBodyForce
 from ..lbm.collision import SRT, TRT
-from ..lbm.kernels.registry import instrument_kernel, make_kernel
+from ..lbm.kernels.common import box_cells
+from ..lbm.kernels.registry import (
+    KERNEL_TIERS,
+    instrument_kernel,
+    make_kernel,
+    run_kernel_on_region,
+)
 from ..lbm.kernels.sparse import (
     ConditionalSparseKernel,
     IndexListSparseKernel,
@@ -71,6 +78,16 @@ class Simulation:
     periodic:
         Per-axis periodicity: ghost layers on periodic axes are wrapped
         from the opposite interior face before each step.
+    exec_mode:
+        Intra-rank sweep execution (see :mod:`repro.exec`):
+        ``"serial"`` runs sweeps inline, ``"threads"`` gives the kernel
+        sweep a persistent pool of ``workers`` threads, each sweeping a
+        slab of the interior (slowest-varying axis) through subregion
+        views — bit-identical to serial for every worker count.
+        ``None`` (default) selects ``"threads"`` when ``workers > 1``.
+    workers:
+        Worker threads for ``exec_mode="threads"`` (the paper's
+        OpenMP/SMT axis within one rank).
     """
 
     def __init__(
@@ -81,6 +98,8 @@ class Simulation:
         kernel: Optional[str] = None,
         body_force=None,
         periodic: Optional[Tuple[bool, ...]] = None,
+        exec_mode: Optional[str] = None,
+        workers: int = 1,
     ):
         self.model = model
         self.collision = collision
@@ -103,6 +122,18 @@ class Simulation:
                 f"periodic needs {model.dim} entries, got {periodic}"
             )
         self.periodic = tuple(bool(p) for p in periodic)
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if exec_mode is None:
+            exec_mode = "threads" if workers > 1 else "serial"
+        if exec_mode not in EXEC_MODES:
+            raise ConfigurationError(
+                f"exec_mode must be one of {EXEC_MODES}, got {exec_mode!r}"
+            )
+        self.exec_mode = exec_mode
+        self.workers = int(workers)
+        self.engine = None
+        self._kernel_tasks: list[SweepTask] = []
 
     # -- configuration ------------------------------------------------------
     def add_boundary(self, condition: Condition) -> "Simulation":
@@ -144,6 +175,38 @@ class Simulation:
                 name, self.model, self.collision, self.cells, tree=tree
             )
         self.kernel_name = name
+
+        # Intra-rank sweep engine: the kernel sweep becomes a round of
+        # independent SweepTasks — whole-field for sparse strategies
+        # (their index lists are built for the full padded shape), one
+        # slab per worker for dense tiers.  Closures re-read
+        # ``self.pdfs.src/dst`` at call time so the two-grid swap stays
+        # transparent; slabs write disjoint dst interiors, so any
+        # worker count is bit-identical to serial.
+        self.engine = make_engine(self.exec_mode, self.workers, tree)
+        self.timeloop.engine = self.engine
+        kern = self._kernel
+        if name in KERNEL_TIERS:
+            n_slabs = self.workers if self.exec_mode == "threads" else 1
+            full = ((0,) * self.model.dim, self.cells)
+            self._kernel_tasks = [
+                SweepTask(
+                    (lambda box=box: run_kernel_on_region(
+                        kern, self.pdfs.src, self.pdfs.dst, box
+                    )),
+                    cost=box_cells(box),
+                    name=f"slab{i}",
+                )
+                for i, box in enumerate(slab_boxes(full, n_slabs))
+            ]
+        else:
+            self._kernel_tasks = [
+                SweepTask(
+                    lambda: kern(self.pdfs.src, self.pdfs.dst),
+                    cost=float(np.prod(self.cells)),
+                    name="block",
+                )
+            ]
 
         self._bh = BoundaryHandling(self.model, self.flags, self.boundaries)
         self.pdfs.set_equilibrium(rho=rho, u=u)
@@ -200,10 +263,15 @@ class Simulation:
             src[tuple(lo)] = src[tuple(hi)]
 
     def _step_kernel(self) -> None:
-        self._kernel(self.pdfs.src, self.pdfs.dst)
+        self.engine.run(self._kernel_tasks)
         tree = self.timeloop.tree
         tree.add_counter("cells_updated", self._processed_cells)
         tree.add_counter("fluid_cell_updates", self.fluid_cells)
+
+    def close(self) -> None:
+        """Shut down the sweep engine's worker pool (if any)."""
+        if self.timeloop is not None:
+            self.timeloop.close()
 
     def timing_report(self) -> str:
         """Hierarchical timing tree of the run (waLBerla's timing pool),

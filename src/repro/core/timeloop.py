@@ -15,9 +15,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..perf.timing import TimingTree
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..exec.engine import ExecutionEngine
 
 __all__ = ["Sweep", "TimeLoop"]
 
@@ -58,6 +61,11 @@ class TimeLoop:
     tree: TimingTree = field(default_factory=TimingTree)
     checkpoint_every: int = 0
     checkpoint_fn: Optional[Callable[[int], None]] = None
+    #: The intra-rank sweep engine driving this loop's parallel sweeps
+    #: (attached by the simulation drivers; ``None`` = plain serial
+    #: execution).  Owning it here lets :meth:`timing_report` append the
+    #: worker-utilization summary and :meth:`close` tear the pool down.
+    engine: Optional["ExecutionEngine"] = None
 
     def add(self, name: str, fn: Callable[[], None]) -> "TimeLoop":
         """Append a sweep; returns self for chaining."""
@@ -126,8 +134,17 @@ class TimeLoop:
         return "\n".join(lines)
 
     def timing_report(self) -> str:
-        """The hierarchical rendering, including nested sub-scopes."""
-        return self.tree.render(title=f"time loop ({self.steps_run} steps)")
+        """The hierarchical rendering, including nested sub-scopes (and
+        the sweep engine's worker-utilization line when one is attached)."""
+        out = self.tree.render(title=f"time loop ({self.steps_run} steps)")
+        if self.engine is not None:
+            out += "\n" + self.engine.summary()
+        return out
+
+    def close(self) -> None:
+        """Shut down the attached sweep engine's worker pool (if any)."""
+        if self.engine is not None:
+            self.engine.shutdown()
 
     def reset_timings(self) -> None:
         """Zero all sweep accumulators and the timing tree."""

@@ -19,7 +19,9 @@ a class constructed once per block shape.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Union
+import threading
+from collections import OrderedDict
+from typing import Tuple, Union
 
 import numpy as np
 
@@ -50,6 +52,11 @@ class VectorizedD3Q19Kernel:
 
     name = "vectorized"
     model: LatticeModel = D3Q19
+    #: Per-thread bound on the number of interior shapes whose scratch
+    #: buffers stay cached (LRU eviction beyond it).  The regular
+    #: drivers need at most a handful of shapes per worker (the full
+    #: interior, the inner box, a few slab/frontier shapes).
+    scratch_cache_size = 8
 
     def __init__(self, cells, collision: Collision):
         self.cells = tuple(int(c) for c in cells)
@@ -60,15 +67,20 @@ class VectorizedD3Q19Kernel:
             self._lam_e = self._lam_o = -1.0 / collision.tau
         else:
             self._lam_e, self._lam_o = collision.lambda_e, collision.lambda_o
-        # Persistent scratch, keyed by interior shape: macroscopic fields
-        # and per-pair work arrays.  The primary shape is allocated up
-        # front; subregion shapes (communication/computation overlap runs
-        # the kernel on inner/frontier views) are allocated once on first
-        # use and reused afterwards, keeping the steady state
-        # allocation-free.
-        self._scratch: Dict[Tuple[int, ...], Tuple[np.ndarray, ...]] = {}
-        self._scratch[self.cells] = tuple(
-            np.empty(self.cells) for _ in range(10)
+        # Persistent scratch: *per-worker-thread* pools keyed by interior
+        # shape (macroscopic fields and per-pair work arrays).  Keying by
+        # thread makes concurrent subregion sweeps race-free — two slab
+        # workers of the :mod:`repro.exec` engine hitting the same slab
+        # shape get distinct buffers — while a persistent pool keeps the
+        # steady state allocation-free: each worker allocates its shapes
+        # once (warm-up) and reuses them every step.  Each per-thread
+        # pool is a small LRU bounded by ``scratch_cache_size`` so
+        # long-running simulations cycling through many partition shapes
+        # cannot grow memory without limit.  The primary shape is
+        # allocated up front for the constructing thread.
+        self._scratch = threading.local()
+        self._scratch.cache = OrderedDict(
+            [(self.cells, tuple(np.empty(self.cells) for _ in range(10)))]
         )
         self._pairs = build_pair_table(D3Q19)
         self._w0 = float(D3Q19.weights[0])
@@ -86,12 +98,33 @@ class VectorizedD3Q19Kernel:
             self._mom_terms.append(terms)
 
     def _get_scratch(self, shape: Tuple[int, ...]) -> Tuple[np.ndarray, ...]:
-        """Scratch buffers for an interior ``shape`` (cached per shape)."""
-        bufs = self._scratch.get(shape)
+        """Scratch buffers for an interior ``shape``.
+
+        Cached per (worker thread, shape) in a small per-thread LRU of
+        at most :attr:`scratch_cache_size` shapes — a cache hit touches
+        no allocator (``move_to_end`` relinks in place), a miss
+        allocates the shape's ten buffers and evicts the least recently
+        used shape when the bound is exceeded.
+        """
+        cache = getattr(self._scratch, "cache", None)
+        if cache is None:
+            cache = OrderedDict()
+            self._scratch.cache = cache
+        bufs = cache.get(shape)
         if bufs is None:
             bufs = tuple(np.empty(shape) for _ in range(10))
-            self._scratch[shape] = bufs
+            cache[shape] = bufs
+            while len(cache) > self.scratch_cache_size:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(shape)
         return bufs
+
+    def scratch_shapes(self) -> Tuple[Tuple[int, ...], ...]:
+        """Interior shapes currently cached for the *calling* thread,
+        least recently used first (introspection for tests/diagnostics)."""
+        cache = getattr(self._scratch, "cache", None)
+        return tuple(cache) if cache else ()
 
     def __call__(self, src: np.ndarray, dst: np.ndarray) -> None:
         """Run one time step: ``dst[interior] = collide(pull(src))``."""

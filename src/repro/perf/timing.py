@@ -69,6 +69,11 @@ KNOWN_COUNTERS: Dict[str, str] = {
     "comm.timeouts": "receive timeouts observed by ReliableComm",
     "comm.retransmits": "messages recovered from the retransmission ledger",
     "comm.duplicates_dropped": "stale duplicate deliveries discarded",
+    "exec.tasks": "work items executed by the intra-rank sweep engine",
+    "exec.claims": "tasks claimed from a worker's own queue",
+    "exec.steals": "tasks stolen from a peer worker's queue",
+    "exec.worker_busy_fraction": "busy wall time / (workers x dispatch wall)",
+    "exec.critical_path_seconds": "accumulated max-per-worker CPU seconds",
     "faults.delayed": "messages delayed by the fault injector",
     "faults.dropped": "messages dropped by the fault injector",
     "faults.duplicated": "messages duplicated by the fault injector",
@@ -199,41 +204,86 @@ class TimingTree:
         tree.add_counter("cells_updated", n_cells)
         print(tree.render())
 
-    Scopes nest lexically through :meth:`scoped`; :meth:`record` accounts
-    an externally measured duration under the *current* scope without
-    pushing the stack (thread-safe, used by the thread-parallel kernel
-    sweeps where blocks execute concurrently — their per-tier child
-    timers then accumulate CPU time, which may legitimately exceed the
-    parent's wall time).
+    Thread safety
+    -------------
+    The tree is safe to use from the hybrid intra-rank worker pool (see
+    :mod:`repro.exec`): every thread owns its *own* scope stack (so
+    concurrent :meth:`scoped` calls cannot corrupt each other), while
+    node mutation — child creation and timer accumulation — is guarded
+    by one lock.  A worker thread's stack starts at the root; the sweep
+    engine re-anchors it under the dispatching sweep's node with
+    :meth:`at`, so per-tier kernel timers recorded on workers nest in
+    the right place.  :meth:`record` / :meth:`record_at` account an
+    externally measured duration without pushing any stack; per-tier
+    child timers recorded by concurrent workers accumulate CPU time,
+    which may legitimately exceed the parent's wall time.
     """
 
     def __init__(self) -> None:
         self.root = TimingNode("total")
-        self._stack: List[TimingNode] = [self.root]
         self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._epoch = 0
         self.counters: Dict[str, float] = {}
+
+    def _stack(self) -> List[TimingNode]:
+        """This thread's scope stack (created on first use; rebuilt when
+        :meth:`reset` bumps the epoch so stale stacks never resurrect a
+        discarded root)."""
+        tls = self._tls
+        if getattr(tls, "epoch", None) != self._epoch:
+            tls.stack = [self.root]
+            tls.epoch = self._epoch
+        return tls.stack
 
     # -- scope management ---------------------------------------------------
     @property
     def current(self) -> TimingNode:
-        """The innermost open scope (the root when none is open)."""
-        return self._stack[-1]
+        """The innermost open scope *of this thread* (root when none)."""
+        return self._stack()[-1]
 
     @contextmanager
     def scoped(self, name: str):
-        """Context manager timing a nested scope named ``name``."""
-        node = self.current.child(name)
-        self._stack.append(node)
+        """Context manager timing a nested scope named ``name``.
+
+        Safe to enter concurrently from several threads: each thread
+        nests under its own stack, and node updates are locked.
+        """
+        stack = self._stack()
+        with self._lock:
+            node = stack[-1].child(name)
+        stack.append(node)
         t0 = time.perf_counter()
         try:
             yield node
         finally:
-            node.stats.record(time.perf_counter() - t0)
-            popped = self._stack.pop()
+            dt = time.perf_counter() - t0
+            with self._lock:
+                node.stats.record(dt)
+            popped = stack.pop()
             if popped is not node:  # pragma: no cover - defensive
                 raise ConfigurationError(
                     f"timing scope stack corrupted at {name!r}"
                 )
+
+    @contextmanager
+    def at(self, node: TimingNode):
+        """Re-anchor *this thread's* scope stack at ``node``.
+
+        Records nothing itself — it only makes ``node`` the thread's
+        :attr:`current` scope, so timers recorded inside (e.g. the
+        per-tier kernel timers of :class:`InstrumentedKernel` running on
+        a worker thread) nest under the dispatching sweep instead of the
+        root.  Used by the :mod:`repro.exec` worker pool.
+        """
+        stack = self._stack()
+        stack.append(node)
+        try:
+            yield node
+        finally:
+            popped = stack.pop()
+            if popped is not node:  # pragma: no cover - defensive
+                raise ConfigurationError("timing anchor stack corrupted")
 
     def record(self, name: str, seconds: float) -> None:
         """Account ``seconds`` to child ``name`` of the current scope.
@@ -244,6 +294,14 @@ class TimingTree:
         """
         with self._lock:
             self.current.child(name).stats.record(seconds)
+
+    def record_at(self, node: TimingNode, name: str, seconds: float) -> None:
+        """Account ``seconds`` to child ``name`` of an explicit ``node``
+        (thread-safe; the sweep engine uses this to file per-worker busy
+        times under the sweep that dispatched them, regardless of which
+        thread performs the accounting)."""
+        with self._lock:
+            node.child(name).stats.record(seconds)
 
     # -- counters -----------------------------------------------------------
     def add_counter(self, name: str, value: float = 1.0) -> None:
@@ -289,7 +347,8 @@ class TimingTree:
         """Drop all recorded timers and counters (open scopes survive as
         fresh nodes only if re-entered)."""
         self.root = TimingNode("total")
-        self._stack = [self.root]
+        self._epoch += 1
+        self._tls = threading.local()
         self.counters = {}
 
     def merge(self, other: "TimingTree") -> "TimingTree":
@@ -313,7 +372,8 @@ class TimingTree:
         """Inverse of :meth:`to_dict`."""
         tree = cls()
         tree.root = TimingNode.from_dict(d["root"])
-        tree._stack = [tree.root]
+        tree._epoch += 1
+        tree._tls = threading.local()
         tree.counters = {k: float(v) for k, v in d.get("counters", {}).items()}
         return tree
 
@@ -344,7 +404,7 @@ class TimingTree:
         if self.counters:
             lines.append("counters:")
             for k in sorted(self.counters):
-                lines.append(f"  {k:<28s} {self.counters[k]:,.0f}")
+                lines.append(f"  {k:<28s} {_fmt_counter(self.counters[k])}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -484,7 +544,7 @@ class ReducedTimingTree:
         if self.counters:
             lines.append("counters (summed over ranks):")
             for k in sorted(self.counters):
-                lines.append(f"  {k:<28s} {self.counters[k]:,.0f}")
+                lines.append(f"  {k:<28s} {_fmt_counter(self.counters[k])}")
         return "\n".join(lines)
 
 
@@ -590,6 +650,14 @@ def best_of(repeats: int, fn: Callable[[], Any]) -> Tuple[float, Any]:
         if dt < best:
             best = dt
     return best, result
+
+
+def _fmt_counter(value: float) -> str:
+    """Integral counters with thousands separators, fractional ones
+    (busy fractions, critical-path seconds) with four decimals."""
+    if value == int(value):
+        return f"{value:,.0f}"
+    return f"{value:,.4f}"
 
 
 def _align(header: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:

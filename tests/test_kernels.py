@@ -166,11 +166,12 @@ class TestValidation:
         with pytest.raises(ValueError):
             k(bad, bad)  # src is dst
         # ... but other *valid* interior shapes are now accepted: the
-        # kernel caches scratch per shape so it can run on subregion
-        # views for communication/computation overlap.
+        # kernel caches scratch per (worker thread, shape) so it can run
+        # on subregion views for communication/computation overlap.
         src = np.full((19, 7, 6, 6), 0.05)
         k(src, np.zeros_like(src))
-        assert (5, 4, 4) in k._scratch and (4, 4, 4) in k._scratch
+        shapes = k.scratch_shapes()
+        assert (5, 4, 4) in shapes and (4, 4, 4) in shapes
 
 
 class TestKernelProperties:
